@@ -1,0 +1,38 @@
+"""Ablation benches for the model's design choices (DESIGN.md).
+
+Not a paper figure: quantifies what the Seq-eviction rule, the RMW
+accounting, and the Pipe binding each contribute, so modeling changes
+that silently defeat a rule fail the build.
+"""
+
+from conftest import print_block
+
+from repro.experiments.ablation import (binding_ablation,
+                                        format_binding_ablation,
+                                        format_rule_ablation,
+                                        movement_rule_ablation)
+
+
+def test_ablation_seq_eviction(benchmark):
+    rows = benchmark(movement_rule_ablation, "eviction")
+    print_block(format_rule_ablation("eviction", rows))
+    by = {r.dataflow: r for r in rows}
+    # Eviction only matters where Seq appears: Layerwise's root has no
+    # loops, so attention dataflows shift little; the rule must never
+    # *increase* traffic when disabled.
+    assert all(r.dram_ratio <= 1.0 + 1e-9 for r in rows)
+
+
+def test_ablation_rmw(benchmark):
+    rows = benchmark(movement_rule_ablation, "rmw")
+    print_block(format_rule_ablation("rmw", rows))
+    assert all(r.dram_ratio <= 1.0 + 1e-9 for r in rows)
+    assert all(r.cycle_ratio <= 1.0 + 1e-9 for r in rows)
+
+
+def test_ablation_binding(benchmark):
+    cycles = benchmark(binding_ablation, "Bert-S")
+    print_block(format_binding_ablation(cycles))
+    # Pipe must be the fastest binding for the same tree; Seq the slowest
+    # or equal to Shar.
+    assert cycles["Pipe"] <= cycles["Shar"] <= cycles["Seq"] * 1.001

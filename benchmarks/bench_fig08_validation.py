@@ -1,0 +1,16 @@
+"""Fig. 8: model validation (cycle/energy correlation and errors)."""
+
+from conftest import print_block
+
+from repro.experiments.validation import (format_validation,
+                                          validate_against_accelerator,
+                                          validate_against_polyhedron)
+
+
+def test_fig08_validation(benchmark):
+    poly = benchmark(validate_against_polyhedron, limit=1152)
+    accel = validate_against_accelerator(limit=131)
+    print_block(format_validation(poly, accel))
+    assert poly.cycle_r2() > 0.98          # paper: 0.999
+    assert poly.cycle_error() < 0.10
+    assert accel.count >= 120

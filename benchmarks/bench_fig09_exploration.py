@@ -1,0 +1,34 @@
+"""Fig. 9: mapper exploration convergence traces."""
+
+from conftest import print_block
+
+from repro.experiments.exploration import (attention_space_workloads,
+                                           conv_space_workloads,
+                                           factor_tuning_trace,
+                                           format_traces,
+                                           space_exploration_trace)
+
+
+def test_fig09a_factor_tuning(benchmark):
+    traces = benchmark(factor_tuning_trace, "Bert-S", samples=40)
+    print_block(format_traces(traces, "Figure 9a: factor tuning (Bert-S)"))
+    assert all(t and t[-1] >= max(t[0], 1e-9) - 1e-9
+               for t in traces.series.values())
+
+
+def test_fig09b_attention_space(benchmark):
+    workloads = attention_space_workloads(("Bert-S", "Bert-B", "ViT/14-B"))
+    traces = benchmark(space_exploration_trace, workloads,
+                       generations=4, population=6, mcts_samples=10)
+    print_block(format_traces(traces, "Figure 9b: 3D-space tuning "
+                                      "(self-attention)"))
+    assert len(traces.series) == 3
+
+
+def test_fig09c_conv_space(benchmark):
+    workloads = conv_space_workloads(("CC3", "CC4"))
+    traces = benchmark(space_exploration_trace, workloads,
+                       generations=4, population=6, mcts_samples=10)
+    print_block(format_traces(traces, "Figure 9c: 3D-space tuning "
+                                      "(conv chains)"))
+    assert len(traces.series) == 2

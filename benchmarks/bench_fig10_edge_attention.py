@@ -1,0 +1,30 @@
+"""Fig. 10: self-attention dataflow comparison on the Edge accelerator."""
+
+from conftest import print_block
+
+from repro.arch import edge
+from repro.experiments.comparison import (attention_comparison,
+                                          format_dram_movement,
+                                          format_l1_breakdown,
+                                          format_normalized_cycles,
+                                          format_onchip_movement)
+
+
+def test_fig10_edge_attention(benchmark):
+    result = benchmark(attention_comparison, edge())
+    print_block(format_normalized_cycles(
+        result, "Figure 10a: normalized cycles (Edge)"))
+    print_block(format_dram_movement(
+        result, "Figure 10b: normalized DRAM data movement"))
+    print_block(format_onchip_movement(
+        result, 1, "Figure 10c: normalized L1 data movement"))
+    print_block(format_l1_breakdown(
+        result, "Bert-B", "Figure 10d: L1 movement breakdown (Bert-B)"))
+    gm = result.geomean_speedups()
+    # Paper shape: every fusion dataflow beats Layerwise; TileFlow wins.
+    assert gm["tileflow"] == max(gm.values())
+    assert gm["flat_hgran"] > 1.5
+    # Fusion removes the bulk of DRAM traffic (paper: ~90%).
+    per_shape = result.by_shape()["Bert-S"]
+    assert (per_shape["flat_rgran"].result.dram_words()
+            < 0.2 * per_shape["layerwise"].result.dram_words())

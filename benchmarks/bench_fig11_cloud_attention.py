@@ -1,0 +1,27 @@
+"""Fig. 11: self-attention dataflow comparison on the Cloud accelerator."""
+
+from conftest import print_block
+
+from repro.arch import cloud
+from repro.experiments.comparison import (attention_comparison,
+                                          format_normalized_cycles,
+                                          format_onchip_movement,
+                                          format_utilization)
+
+
+def test_fig11_cloud_attention(benchmark):
+    result = benchmark(attention_comparison, cloud())
+    print_block(format_normalized_cycles(
+        result, "Figure 11a: normalized cycles (Cloud)"))
+    print_block(format_onchip_movement(
+        result, 2, "Figure 11b: normalized L2 data movement"))
+    print_block(format_onchip_movement(
+        result, 1, "Figure 11c: normalized L1 data movement"))
+    print_block(format_utilization(
+        result, "Figure 11d: level-1 instances occupied"))
+    gm = result.geomean_speedups()
+    # Paper shape: fusion dataflows land close together and far above
+    # Layerwise; Uni-pipe's lack of spatial tiling keeps it low.
+    assert gm["flat_rgran"] > 3.0
+    assert gm["tileflow"] > 3.0
+    assert gm["unipipe"] < 2.0

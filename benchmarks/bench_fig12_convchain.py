@@ -1,0 +1,26 @@
+"""Fig. 12: convolution-chain dataflow comparison on Cloud."""
+
+from conftest import print_block
+
+from repro.arch import cloud
+from repro.experiments.comparison import (conv_comparison,
+                                          format_dram_movement,
+                                          format_normalized_cycles)
+
+
+def test_fig12_convchain(benchmark):
+    result = benchmark(conv_comparison, cloud(), tune_samples=16)
+    print_block(format_normalized_cycles(
+        result, "Figure 12a: normalized cycles (conv chains, Cloud)"))
+    print_block(format_dram_movement(
+        result, "Figure 12b: normalized DRAM access"))
+    # Paper shape: Fused-Layer cuts DRAM access deeply (~73%) even when
+    # its latency gain is small; ISOS provides no speedup.
+    per_shape = result.by_shape()
+    dram_cuts = []
+    for shape, per_df in per_shape.items():
+        base = per_df["layerwise"].result.dram_words()
+        dram_cuts.append(per_df["fused_layer"].result.dram_words() / base)
+    assert sum(dram_cuts) / len(dram_cuts) < 0.6
+    gm = result.geomean_speedups()
+    assert gm["isos"] < 1.6

@@ -1,0 +1,17 @@
+"""Fig. 13: energy breakdown of FLAT-RGran for two L1 sizes."""
+
+from conftest import print_block
+
+from repro.experiments.energy_breakdown import (L1_SIZES, energy_breakdown,
+                                                format_breakdown)
+
+
+def test_fig13_energy_breakdown(benchmark):
+    result = benchmark(energy_breakdown)
+    print_block(format_breakdown(result))
+    small = result.average(L1_SIZES[0])
+    large = result.average(L1_SIZES[1])
+    # Paper shape: enlarging L1 makes L1 access dominate the energy.
+    assert large["L1"] > small["L1"]
+    assert large["L1"] > 0.4
+    assert small["DRAM"] > large["DRAM"]

@@ -1,0 +1,21 @@
+"""Fig. 14: L1 bandwidth sensitivity of the conv dataflows on Edge."""
+
+from conftest import print_block
+
+from repro.experiments.sensitivity import (bandwidth_sensitivity,
+                                           format_bandwidth_sweep)
+
+
+def test_fig14_bandwidth(benchmark):
+    def run():
+        return [bandwidth_sensitivity(shape) for shape in ("CC1", "CC2")]
+
+    sweeps = benchmark(run)
+    for sweep in sweeps:
+        print_block(format_bandwidth_sweep(sweep))
+    # Paper shape: TileFlow demands far more L1 bandwidth than
+    # Fused-Layer/ISOS (its pipeline keeps more PEs busy).
+    cc1 = sweeps[0]
+    tf = cc1.suitable_bandwidth("tileflow") or float("inf")
+    fl = cc1.suitable_bandwidth("fused_layer") or float("inf")
+    assert tf >= fl

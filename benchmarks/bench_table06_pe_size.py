@@ -1,0 +1,14 @@
+"""Table 6: performance across PE array sizes."""
+
+from conftest import print_block
+
+from repro.experiments.sensitivity import format_pe_sweep, pe_size_sweep
+
+
+def test_table06_pe_size(benchmark):
+    data = benchmark(pe_size_sweep)
+    print_block(format_pe_sweep(data))
+    # Paper shape: TileFlow is ~2x the baseline at small arrays and both
+    # converge once the array is large enough.
+    assert data[8]["tileflow"] < data[8]["baseline"]
+    assert data[256]["baseline"] < data[8]["baseline"] / 10

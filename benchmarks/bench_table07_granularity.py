@@ -1,0 +1,23 @@
+"""Table 7: FLAT granularities for T5 (batch 128) on Cloud."""
+
+from conftest import print_block
+
+from repro.experiments.sensitivity import (format_granularity,
+                                           granularity_study)
+
+
+def test_table07_granularity(benchmark):
+    def run():
+        return {scenario: granularity_study(scenario, tune_samples=16)
+                for scenario in ("fixed", "explored", "limited")}
+
+    results = benchmark(run)
+    for scenario, rows in results.items():
+        print_block(format_granularity(scenario, rows))
+    fixed = {r.dataflow: r for r in results["fixed"]}
+    # Paper shape: finer granularity -> faster and less on-chip memory.
+    assert fixed["MGran"].cycles_1e6 > fixed["RGran"].cycles_1e6
+    assert fixed["MGran"].l2_used_mb > fixed["RGran"].l2_used_mb
+    limited = {r.dataflow: r for r in results["limited"]}
+    assert limited["MGran"].oom and limited["BGran"].oom
+    assert not limited["RGran"].oom and not limited["TileFlow"].oom

@@ -1,0 +1,17 @@
+"""Table 8: long-sequence attention on the GPU-like specification."""
+
+from conftest import print_block
+
+from repro.experiments.gpu import format_gpu, gpu_evaluation
+
+
+def test_table08_gpu(benchmark):
+    rows = benchmark(gpu_evaluation)
+    print_block(format_gpu(rows))
+    # Paper shape: the row-stationary baseline eventually goes OOM while
+    # the column-tiled TileFlow dataflow supports every length and wins.
+    baseline_256k = [r for r in rows
+                    if r.dataflow == "baseline" and r.seq_len == 262144]
+    assert all(r.oom for r in baseline_256k)
+    tileflow_rows = [r for r in rows if r.dataflow == "TileFlow"]
+    assert all(not r.oom for r in tileflow_rows)

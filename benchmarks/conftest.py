@@ -1,0 +1,15 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench regenerates one paper table/figure: the benchmarked callable
+runs the (budget-reduced) experiment, and the printed block is the same
+rows/series the paper reports.  Absolute numbers differ from the paper
+(the substrate is a model, not the authors' testbed); the *shapes* are
+compared in EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+def print_block(text: str) -> None:
+    print()
+    print(text)

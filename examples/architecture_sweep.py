@@ -1,0 +1,47 @@
+"""Architecture analysis: how dataflow choice interacts with the machine.
+
+Sweeps DRAM bandwidth and PE-array size on the Edge accelerator and shows
+where each self-attention dataflow is memory- vs compute-bound — the kind
+of architecture/dataflow co-design study TileFlow is built for (§7.5).
+
+Run:  python examples/architecture_sweep.py
+"""
+
+from repro import arch
+from repro.analysis import TileFlowModel
+from repro.dataflows import ATTENTION_DATAFLOWS
+from repro.workloads import self_attention
+
+
+def main() -> None:
+    workload = self_attention(8, 512, 512, name="Bert-S")
+    base = arch.edge()
+
+    print("=== DRAM bandwidth sweep (cycles) ===")
+    bandwidths = (15, 30, 60, 120, 240, 480)
+    print(f"{'dataflow':12s} " + " ".join(f"{bw:>9d}" for bw in bandwidths))
+    for name in ("layerwise", "flat_rgran", "tileflow"):
+        cells = []
+        for bw in bandwidths:
+            spec = base.with_level("DRAM", bandwidth_gbs=float(bw))
+            result = TileFlowModel(spec).evaluate(
+                ATTENTION_DATAFLOWS[name](workload, spec))
+            cells.append(f"{result.latency_cycles:9.3g}")
+        print(f"{name:12s} " + " ".join(cells))
+
+    print("\n=== PE array sweep (cycles) ===")
+    sides = (8, 16, 32, 64, 128)
+    print(f"{'dataflow':12s} " + " ".join(f"{s:>3d}^2    " for s in sides))
+    for name in ("layerwise", "flat_rgran", "tileflow"):
+        cells = []
+        for side in sides:
+            spec = base.with_(pe_count=side * side,
+                              vector_pe_count=max(16, side * side // 5))
+            result = TileFlowModel(spec).evaluate(
+                ATTENTION_DATAFLOWS[name](workload, spec))
+            cells.append(f"{result.latency_cycles:9.3g}")
+        print(f"{name:12s} " + " ".join(cells))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Compare every named self-attention fusion dataflow on Edge and Cloud.
+
+Reproduces the headline comparison of the paper (Fig. 10/11) for one
+shape: Layerwise vs Uni-pipe vs FLAT-HGran/RGran vs Chimera vs the
+TileFlow dataflow, reporting cycles, DRAM traffic, energy, and resource
+usage.
+
+Run:  python examples/attention_fusion.py [shape-name]
+"""
+
+import sys
+
+from repro import arch
+from repro.analysis import TileFlowModel
+from repro.dataflows import ATTENTION_DATAFLOWS
+from repro.workloads import ATTENTION_SHAPES, attention_from_shape
+
+
+def main(shape_name: str = "Bert-B") -> None:
+    shape = ATTENTION_SHAPES[shape_name]
+    workload = attention_from_shape(shape)
+    print(f"workload: {workload.name}  (heads={shape.num_heads}, "
+          f"seq={shape.seq_len}, hidden={shape.hidden})")
+    for spec in (arch.edge(), arch.cloud()):
+        model = TileFlowModel(spec)
+        print(f"\n=== {spec.name} ===")
+        print(f"{'dataflow':12s} {'cycles':>12s} {'speedup':>8s} "
+              f"{'DRAM words':>12s} {'energy (uJ)':>12s} {'PEs':>8s}")
+        base = None
+        for name, template in ATTENTION_DATAFLOWS.items():
+            result = model.evaluate(template(workload, spec))
+            base = base or result.latency_cycles
+            flags = " OOM" if result.violations else ""
+            print(f"{name:12s} {result.latency_cycles:12.4g} "
+                  f"{base / result.latency_cycles:7.2f}x "
+                  f"{result.dram_words():12.4g} "
+                  f"{result.energy_pj / 1e6:12.4g} "
+                  f"{result.resources.num_pe:8d}{flags}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "Bert-B")

@@ -1,0 +1,41 @@
+"""Quickstart: evaluate a fusion dataflow for one attention layer.
+
+Builds the Bert-S self-attention workload, expresses the FLAT-RGran
+fusion dataflow in TileFlow's tile-centric notation, runs the tree-based
+analysis on the Edge accelerator, and prints the tree, the notation, and
+the performance estimate.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import arch
+from repro.analysis import TileFlowModel
+from repro.dataflows import attention_dataflow
+from repro.tile import render_notation
+from repro.workloads import self_attention
+
+
+def main() -> None:
+    workload = self_attention(num_heads=8, seq_len=512, hidden=512,
+                              name="Bert-S")
+    spec = arch.edge()
+
+    tree = attention_dataflow("flat_rgran", workload, spec)
+    print("=== analysis tree ===")
+    print(tree.render())
+    print()
+    print("=== tile-centric notation ===")
+    print(render_notation(tree))
+    print()
+
+    result = TileFlowModel(spec).evaluate(tree)
+    print("=== evaluation ===")
+    print(result.summary())
+    print()
+    print(f"DRAM words moved : {result.dram_words():,.0f}")
+    print(f"L1 words moved   : {result.onchip_words(1):,.0f}")
+    print(f"PE utilization   : {result.utilization:.1%}")
+
+
+if __name__ == "__main__":
+    main()

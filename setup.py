@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package (offline).
+
+The real metadata lives in pyproject.toml; this file exists so that
+`pip install -e .` can fall back to the legacy setuptools editable path.
+"""
+from setuptools import setup
+
+setup()

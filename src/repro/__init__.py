@@ -1,0 +1,30 @@
+"""TileFlow reproduction: modeling fusion dataflows via tree-based analysis.
+
+This package reproduces the system described in *TileFlow: A Framework for
+Modeling Fusion Dataflow via Tree-based Analysis* (MICRO 2023): a
+tile-centric notation for fusion dataflows, a tree-based analytical
+performance model (data movement, resource usage, latency, energy), baseline
+models, a cycle-approximate simulated accelerator, and a GA+MCTS mapper.
+
+Quickstart::
+
+    from repro import workloads, arch, dataflows
+    from repro.analysis import TileFlowModel
+
+    wl = workloads.self_attention(num_heads=8, seq_len=512, hidden=512)
+    spec = arch.edge()
+    tree = dataflows.attention_dataflow("flat_rgran", wl, spec)
+    result = TileFlowModel(spec).evaluate(tree)
+    print(result.latency_cycles, result.energy_pj)
+
+See DESIGN.md for the package map and EXPERIMENTS.md for the reproduction
+of every table and figure in the paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+from . import (analysis, arch, baselines, dataflows, ir, mapper, sim, tile,
+               workloads)
+
+__all__ = ["analysis", "arch", "baselines", "dataflows", "ir", "mapper",
+           "sim", "tile", "workloads", "__version__"]

@@ -1,0 +1,21 @@
+"""Tree-based analysis: data movement, resources, latency, energy (§5)."""
+
+from .datamovement import (DataMovementAnalysis, DataMovementResult,
+                           NodeFlows)
+from .energy import compute_energy
+from .latency import LatencyAnalysis
+from .metrics import EvaluationResult, LevelTraffic, ResourceUsage
+from .model import TileFlowModel
+from .resources import ResourceAnalysis
+from .slices import (box_volume, delta_volume, loop_displacement,
+                     merged_extents, movement_recursion, overlap_volume,
+                     slice_coverage, slice_extents)
+
+__all__ = [
+    "TileFlowModel",
+    "DataMovementAnalysis", "DataMovementResult", "NodeFlows",
+    "ResourceAnalysis", "LatencyAnalysis", "compute_energy",
+    "EvaluationResult", "LevelTraffic", "ResourceUsage",
+    "box_volume", "delta_volume", "overlap_volume", "movement_recursion",
+    "loop_displacement", "merged_extents", "slice_coverage", "slice_extents",
+]

@@ -1,0 +1,319 @@
+"""Tree-based data-movement analysis (§5.1).
+
+For every node of the analysis tree and every tensor whose data crosses
+into that node's buffer, the engine computes the words moved over the whole
+execution by the boundary recursion of §5.1.1, extended with the paper's
+inter-tile rules (§5.1.2):
+
+* **Reuse walk** — the temporal loops driving a node's refills are its own
+  temporal loops plus those of its ancestors (inner to outer), because a
+  slice persists in the node's buffer exactly as long as no walked loop
+  displaces it.  Wrap-around of inner loops is part of each boundary's
+  displacement, reproducing Fig. 5.
+* **Seq eviction** — ascending through a ``Seq`` fusion node stops the walk
+  for tensors the *following* sibling tile does not use: their slices are
+  evicted, so every remaining outer iteration refills from scratch
+  (multiplicative).
+* **Fusion saving / LCA routing** — an intermediate tensor lives at its
+  least-common-ancestor node; it never crosses above that node's memory
+  level, and loops above the LCA (which re-produce the tensor) contribute
+  multiplicatively, never as reuse.
+* **Spatial loops** — a node's own spatial loops enlarge its slice (the
+  level's instances co-reside); ancestors' spatial loops multiply traffic
+  when they displace the slice and broadcast (x1) when they do not.
+
+The result records per-level fill/read/update word counts (the paper's
+Fig. 10d breakdown) and per-node load/store totals for the latency model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..arch import Architecture
+from ..ir import Operator, TensorAccess
+from ..tile.bindings import Binding
+from ..tile.loops import Loop
+from ..tile.tree import AnalysisTree, FusionNode, OpTile, TileNode
+from .metrics import LevelTraffic
+from .slices import (box_volume, delta_volume, loop_displacement,
+                     merged_extents, movement_recursion, slice_extents)
+
+
+@dataclass
+class NodeFlows:
+    """Traffic and residency of one tree node."""
+
+    node: TileNode
+    #: Words filled into this node's buffer per tensor, whole execution.
+    fills: Dict[str, float] = field(default_factory=dict)
+    #: Words written back from this node's buffer to its parent's.
+    updates: Dict[str, float] = field(default_factory=dict)
+    #: Words resident per tensor for one time step (capacity analysis).
+    staged_words: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def load_words(self) -> float:
+        return sum(self.fills.values())
+
+    @property
+    def store_words(self) -> float:
+        return sum(self.updates.values())
+
+
+@dataclass
+class DataMovementResult:
+    """Output of the data-movement analysis."""
+
+    traffic: Dict[int, LevelTraffic]
+    node_flows: Dict[int, NodeFlows]  # keyed by id(node)
+
+    def flows(self, node: TileNode) -> NodeFlows:
+        return self.node_flows[id(node)]
+
+
+class _Walk:
+    """The truncated ancestor loop walk for one (node, tensor) pair."""
+
+    __slots__ = ("loops", "multiplier", "multiplied")
+
+    def __init__(self, loops: List[Loop], multiplier: float,
+                 multiplied: List[Tuple[str, int]]):
+        self.loops = loops  # outer -> inner
+        self.multiplier = multiplier
+        #: (dim, count) of loops folded into the multiplier.
+        self.multiplied = multiplied
+
+    @property
+    def multiplied_dims(self) -> List[str]:
+        return [d for d, _ in self.multiplied]
+
+
+class DataMovementAnalysis:
+    """Runs the §5.1 analysis over a validated tree.
+
+    The two refinement rules can be ablated (``model_eviction`` switches
+    off the §5.1.2 Seq eviction, ``model_rmw`` switches off partial-sum
+    read-modify-write accounting); the ablation benches quantify what
+    each rule contributes to the model's predictions.
+    """
+
+    def __init__(self, tree: AnalysisTree, arch: Architecture,
+                 model_eviction: bool = True, model_rmw: bool = True):
+        self.tree = tree
+        self.arch = arch
+        self.model_eviction = model_eviction
+        self.model_rmw = model_rmw
+        self._homes: Dict[str, Optional[TileNode]] = {
+            t.name: tree.tensor_home(t.name)
+            for t in tree.workload.tensors()}
+        self._uses_cache: Dict[Tuple[int, str], bool] = {}
+
+    # ------------------------------------------------------------------
+    def run(self) -> DataMovementResult:
+        traffic: Dict[int, LevelTraffic] = {
+            i: LevelTraffic() for i in range(self.arch.num_levels)}
+        node_flows: Dict[int, NodeFlows] = {}
+        for node in self.tree.nodes():
+            flows = self._analyze_node(node, traffic)
+            node_flows[id(node)] = flows
+        self._add_compute_accesses(traffic)
+        return DataMovementResult(traffic=traffic, node_flows=node_flows)
+
+    # ------------------------------------------------------------------
+    def _analyze_node(self, node: TileNode,
+                      traffic: Dict[int, LevelTraffic]) -> NodeFlows:
+        flows = NodeFlows(node=node)
+        source_level = (node.parent.level if node.parent is not None
+                        else self.arch.dram_index)
+        readers, writers = self._accesses_below(node)
+        tensors = sorted(set(readers) | set(writers))
+        for tensor_name in tensors:
+            reader_pairs = readers.get(tensor_name, [])
+            writer_pairs = writers.get(tensor_name, [])
+            # A slice is one buffer instance's residency: loops below the
+            # node plus its unit-step (PE-lane) spatial loops.  Block-
+            # distributing spatial loops multiply traffic in the walk.
+            extents = merged_extents(
+                [slice_extents(node, leaf, access)
+                 for leaf, access in reader_pairs + writer_pairs])
+            flows.staged_words[tensor_name] = float(box_volume(extents))
+
+            home = self._homes.get(tensor_name)
+            crossing = (home is None) or self._is_strict_ancestor(home, node)
+            if not crossing or node.level >= source_level:
+                continue
+
+            if reader_pairs:
+                leaf, access = reader_pairs[0]
+                walk = self._build_walk(node, tensor_name, access, home)
+                words = self._walk_volume(extents, access, walk)
+                flows.fills[tensor_name] = (
+                    flows.fills.get(tensor_name, 0.0) + words)
+                traffic[node.level].add("fill", tensor_name, words)
+                traffic[source_level].add("read", tensor_name, words)
+            if writer_pairs:
+                leaf, access = writer_pairs[0]
+                walk = self._build_walk(node, tensor_name, access, home)
+                words = self._walk_volume(extents, access, walk)
+                flows.updates[tensor_name] = (
+                    flows.updates.get(tensor_name, 0.0) + words)
+                traffic[source_level].add("update", tensor_name, words)
+                # Read-modify-write: any update traffic beyond the
+                # reduction-free ideal is a partial sum written back early
+                # (an outer reduction loop displaced the slice), and each
+                # such writeback is refetched before accumulation resumes.
+                red = leaf.op.reduction_dims
+                ideal = self._ideal_update_volume(extents, access, walk, red)
+                rmw = max(0.0, words - ideal) if self.model_rmw else 0.0
+                if rmw > 0:
+                    flows.fills[tensor_name] = (
+                        flows.fills.get(tensor_name, 0.0) + rmw)
+                    traffic[node.level].add("fill", tensor_name, rmw)
+                    traffic[source_level].add("read", tensor_name, rmw)
+        return flows
+
+    def _ideal_update_volume(self, extents, access, walk: "_Walk",
+                             reduction_dims) -> float:
+        """Update volume if no reduction loop ever displaced the slice."""
+        loops = [lp for lp in walk.loops if lp.dim not in reduction_dims]
+        mult_red = 1.0
+        for dim, count in walk.multiplied:
+            if dim in reduction_dims:
+                mult_red *= count
+        ideal_walk = _Walk(loops, walk.multiplier / max(1.0, mult_red), [])
+        return self._walk_volume(extents, access, ideal_walk)
+
+    # ------------------------------------------------------------------
+    def _accesses_below(self, node: TileNode):
+        """Group (leaf, access) pairs under ``node`` by tensor name."""
+        readers: Dict[str, List[Tuple[OpTile, TensorAccess]]] = {}
+        writers: Dict[str, List[Tuple[OpTile, TensorAccess]]] = {}
+        for leaf in node.leaves():
+            for access in leaf.op.inputs:
+                readers.setdefault(access.tensor.name, []).append(
+                    (leaf, access))
+            out = leaf.op.output
+            writers.setdefault(out.tensor.name, []).append((leaf, out))
+        return readers, writers
+
+    @staticmethod
+    def _is_strict_ancestor(candidate: TileNode, node: TileNode) -> bool:
+        return any(a is candidate for a in node.ancestors())
+
+    def _subtree_uses(self, node: TileNode, tensor_name: str) -> bool:
+        key = (id(node), tensor_name)
+        cached = self._uses_cache.get(key)
+        if cached is None:
+            cached = any(leaf.op.uses(tensor_name) for leaf in node.leaves())
+            self._uses_cache[key] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def _build_walk(self, node: TileNode, tensor_name: str,
+                    access: TensorAccess,
+                    home: Optional[TileNode]) -> _Walk:
+        """Ancestor loop walk with Seq-eviction and LCA truncation."""
+        walk_inner_to_outer: List[Loop] = []
+        multiplier = 1.0
+        multiplied: List[Tuple[str, int]] = []
+        stopped = False
+        # A Seq fusion node evicts a tensor between its own iterations when
+        # the sibling following the tensor's last user does not need it, so
+        # the node's own temporal loops refill rather than reuse.
+        if self._self_evicts(node, tensor_name):
+            for lp in node.temporal_loops:
+                multiplier *= lp.count
+                multiplied.append((lp.dim, lp.count))
+        else:
+            walk_inner_to_outer.extend(reversed(node.temporal_loops))
+        # The node's own block-distributing spatial loops (step > 1)
+        # spread slices over separate buffer instances.
+        for lp in node.spatial_loops:
+            if lp.step == 1:
+                continue
+            disp = access.displacement({lp.dim: lp.step})
+            if any(d != 0 for d in disp):
+                multiplier *= lp.count
+                multiplied.append((lp.dim, lp.count))
+        current: TileNode = node
+        while current.parent is not None:
+            parent = current.parent
+            for lp in parent.spatial_loops:
+                disp = access.displacement({lp.dim: lp.step})
+                if any(d != 0 for d in disp):
+                    multiplier *= lp.count
+                    multiplied.append((lp.dim, lp.count))
+            if (not stopped and self.model_eviction
+                    and self._evicted_at(parent, current, tensor_name)):
+                stopped = True
+            if stopped:
+                for lp in parent.temporal_loops:
+                    multiplier *= lp.count
+                    multiplied.append((lp.dim, lp.count))
+            else:
+                walk_inner_to_outer.extend(reversed(parent.temporal_loops))
+            if parent is home:
+                stopped = True
+            current = parent
+        walk_inner_to_outer.reverse()
+        return _Walk(walk_inner_to_outer, multiplier, multiplied)
+
+    def _self_evicts(self, node: TileNode, tensor_name: str) -> bool:
+        """Seq eviction applied to the node's own iterations (§5.1.2)."""
+        if not self.model_eviction:
+            return False
+        if not isinstance(node, FusionNode):
+            return False
+        if node.binding is not Binding.SEQ or len(node.children) < 2:
+            return False
+        users = [i for i, c in enumerate(node.children)
+                 if self._subtree_uses(c, tensor_name)]
+        if not users:
+            return False
+        following = node.children[(users[-1] + 1) % len(node.children)]
+        return not self._subtree_uses(following, tensor_name)
+
+    @staticmethod
+    def _evicted_at(parent: TileNode, child: TileNode,
+                    tensor_name: str) -> bool:
+        """§5.1.2: Seq evicts slices the following sibling does not need."""
+        if not isinstance(parent, FusionNode):
+            return False
+        if parent.binding is not Binding.SEQ or len(parent.children) < 2:
+            return False
+        idx = next(i for i, c in enumerate(parent.children) if c is child)
+        following = parent.children[(idx + 1) % len(parent.children)]
+        if following is child:
+            return False
+        uses = any(leaf.op.uses(tensor_name) for leaf in following.leaves())
+        return not uses
+
+    def _walk_volume(self, extents: Sequence[int], access: TensorAccess,
+                     walk: _Walk) -> float:
+        volume = box_volume(extents)
+        counts = [lp.count for lp in walk.loops]
+        deltas = []
+        for i, lp in enumerate(walk.loops):
+            disp = loop_displacement(access, lp, walk.loops[i + 1:])
+            deltas.append(delta_volume(extents, disp))
+        return movement_recursion(volume, counts, deltas) * walk.multiplier
+
+    # ------------------------------------------------------------------
+    def _add_compute_accesses(self, traffic: Dict[int, LevelTraffic]) -> None:
+        """Operand/accumulator accesses at the innermost level.
+
+        Each iteration point reads its input operands from and writes its
+        accumulator to the leaf-level buffer (registers); these are the
+        "Reg" accesses of the paper's energy breakdown (Fig. 13).
+        """
+        for leaf in self.tree.root.leaves():
+            executions = 1
+            for ancestor in leaf.ancestors():
+                executions *= ancestor.trip_count
+            points = leaf.trip_count * executions
+            level = traffic[leaf.level]
+            for access in leaf.op.inputs:
+                level.add("read", access.tensor.name, float(points))
+            level.add("update", leaf.op.output.tensor.name, float(points))

@@ -1,0 +1,37 @@
+"""Energy estimation (§5.3).
+
+Energy is access counting: every word moved at every memory level costs
+that level's per-access energy, and every arithmetic operation costs the
+MAC energy (the paper delegates the same computation to Accelergy tables).
+The per-component breakdown ("MAC", "Reg", "L1", "DRAM", ...) feeds
+Fig. 13.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..arch import Architecture
+from ..ir import Workload
+from .metrics import LevelTraffic
+
+
+def compute_energy(workload: Workload, arch: Architecture,
+                   traffic: Dict[int, LevelTraffic]
+                   ) -> Tuple[float, Dict[str, float]]:
+    """Total energy (pJ) and per-component breakdown for a mapping.
+
+    ``read`` accesses cost the level's read energy; ``fill`` and ``update``
+    are writes into the level and cost its write energy.
+    """
+    breakdown: Dict[str, float] = {}
+    for level_idx, level_traffic in traffic.items():
+        level = arch.level(level_idx)
+        pj = (level_traffic.total("read") * level.read_energy_pj
+              + (level_traffic.total("fill") + level_traffic.total("update"))
+              * level.write_energy_pj)
+        if pj:
+            breakdown[level.name] = breakdown.get(level.name, 0.0) + pj
+    mac_pj = workload.total_ops * arch.mac_energy_pj
+    breakdown["MAC"] = mac_pj
+    return sum(breakdown.values()), breakdown

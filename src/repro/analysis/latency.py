@@ -1,0 +1,149 @@
+"""Latency estimation (§5.3).
+
+Latency composes bottom-up with the paper's rules:
+
+* A leaf (perfect tile) takes one cycle per temporal iteration, its spatial
+  iterations running in parallel on the PE array
+  (``Perfect_Tile_Latency``).
+* An inner tile overlaps data loading, children execution, and data
+  storing under double buffering, so its per-execution latency is
+  ``max(load / BW, children, store / BW)``; ``Seq``/``Shar`` children
+  serialize (sum) while ``Para``/``Pipe`` children overlap (max).
+
+Bandwidth sharing: a node's loads come from its source level, whose
+aggregate bandwidth is divided among all concurrently active consumers —
+spatial copies and concurrent (Para/Pipe) siblings.  The analysis threads
+that concurrency factor down the tree.
+
+The §7.5 slow-down metric (access latency over compute latency, floored at
+1) is computed per level from the aggregate traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..arch import Architecture
+from ..tile.bindings import Binding
+from ..tile.tree import AnalysisTree, FusionNode, OpTile, TileNode
+from .datamovement import DataMovementResult
+from .metrics import LevelTraffic
+
+
+class LatencyAnalysis:
+    """Computes total cycles and per-level slow-down for a mapping."""
+
+    def __init__(self, tree: AnalysisTree, arch: Architecture,
+                 movement: DataMovementResult):
+        self.tree = tree
+        self.arch = arch
+        self.movement = movement
+        self._executions: Dict[int, float] = {}
+        self._count_executions(tree.root, 1.0)
+
+    def _count_executions(self, node: TileNode, times: float) -> None:
+        self._executions[id(node)] = times
+        inner = times * node.trip_count
+        for child in node.children_nodes():
+            self._count_executions(child, inner)
+
+    # ------------------------------------------------------------------
+    def run(self) -> Tuple[float, Dict[int, float]]:
+        """Return (total latency cycles, per-level slow-down)."""
+        cycles = self._node_latency(self.tree.root, concurrency=1.0)
+        return cycles, self._slowdown(cycles)
+
+    # ------------------------------------------------------------------
+    def _node_latency(self, node: TileNode, concurrency: float) -> float:
+        """Latency in cycles of ONE execution of ``node``."""
+        flows = self.movement.flows(node)
+        executions = max(1.0, self._executions[id(node)])
+        source_level = (node.parent.level if node.parent is not None
+                        else self.arch.dram_index)
+        io_cycles = 0.0
+        if node.level < source_level:
+            load_bytes = self._bytes(flows.fills) / executions
+            store_bytes = self._bytes(flows.updates) / executions
+            bw = self._shared_bandwidth(source_level, concurrency)
+            # Loads and stores share the source port (half duplex); both
+            # overlap with children execution under double buffering.
+            io_cycles = (load_bytes + store_bytes) / bw
+
+        if node.is_leaf():
+            assert isinstance(node, OpTile)
+            inner = self._perfect_tile_cycles(node)
+        elif isinstance(node, OpTile):
+            inner = node.temporal_trip_count * self._node_latency(
+                node.child, concurrency * node.spatial_trip_count)
+        else:
+            assert isinstance(node, FusionNode)
+            child_conc = concurrency * node.spatial_trip_count
+            lats = [self._node_latency(c, child_conc) for c in node.children]
+            if node.binding.shares_compute_in_time:
+                inner = node.temporal_trip_count * sum(lats)
+            else:
+                # Concurrent siblings (Para/Pipe) overlap in time but share
+                # the staging level's bandwidth, so the iteration takes the
+                # slowest child or the aggregate sibling IO, whichever is
+                # longer (demand-proportional sharing).
+                io_sum = sum(self._child_io_cycles(c, child_conc)
+                             for c in node.children)
+                inner = node.temporal_trip_count * max(max(lats), io_sum)
+        return max(io_cycles, inner)
+
+    def _child_io_cycles(self, child: TileNode, concurrency: float) -> float:
+        """Per-execution IO time of one child against its source level."""
+        if child.parent is None or child.level >= child.parent.level:
+            return 0.0
+        flows = self.movement.flows(child)
+        executions = max(1.0, self._executions[id(child)])
+        total_bytes = (self._bytes(flows.fills)
+                       + self._bytes(flows.updates)) / executions
+        bw = self._shared_bandwidth(child.parent.level, concurrency)
+        return total_bytes / bw
+
+    def _perfect_tile_cycles(self, leaf: OpTile) -> float:
+        """Cycles of one leaf execution (polyhedron perfect-tile latency).
+
+        Spatial iterations run in parallel; when the leaf asks for more
+        lanes than the pool holds, throughput degrades proportionally
+        (resource validation flags this separately).
+        """
+        pool = self.arch.compute_units(leaf.op.kind)
+        waves = max(1.0, leaf.spatial_trip_count / pool)
+        return leaf.temporal_trip_count * waves * leaf.op.ops_per_point
+
+    # ------------------------------------------------------------------
+    def _bytes(self, words_by_tensor: Dict[str, float]) -> float:
+        total = 0.0
+        for tensor_name, words in words_by_tensor.items():
+            total += words * self.tree.workload.tensor(tensor_name).word_bytes
+        return total
+
+    def _shared_bandwidth(self, level_idx: int, concurrency: float) -> float:
+        """Bytes/cycle one consumer gets from ``level_idx``'s aggregate BW."""
+        level = self.arch.level(level_idx)
+        aggregate = level.bytes_per_cycle(self.arch.frequency_ghz)
+        aggregate *= level.fanout
+        return max(1e-9, aggregate / max(1.0, concurrency))
+
+    # ------------------------------------------------------------------
+    def _slowdown(self, compute_cycles: float) -> Dict[int, float]:
+        """§7.5: per-level access latency over total latency, floored at 1."""
+        result: Dict[int, float] = {}
+        for level_idx in range(self.arch.num_levels):
+            traffic = self.movement.traffic.get(level_idx)
+            if traffic is None:
+                result[level_idx] = 1.0
+                continue
+            word_bytes = self._mean_word_bytes()
+            level = self.arch.level(level_idx)
+            bw = level.bytes_per_cycle(self.arch.frequency_ghz) * level.fanout
+            access_cycles = traffic.total_words * word_bytes / bw
+            result[level_idx] = max(1.0, access_cycles
+                                    / max(1e-9, compute_cycles))
+        return result
+
+    def _mean_word_bytes(self) -> float:
+        tensors = self.tree.workload.tensors()
+        return sum(t.word_bytes for t in tensors) / len(tensors)

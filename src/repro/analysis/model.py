@@ -1,0 +1,90 @@
+"""The TileFlow performance model: orchestration of the tree analyses.
+
+:class:`TileFlowModel` ties together structural validation (§4), data
+movement (§5.1), resource usage (§5.2), and latency/energy estimation
+(§5.3) and returns an :class:`~repro.analysis.metrics.EvaluationResult`.
+
+By default resource violations are *recorded* in the result (mappers
+reject or penalize infeasible candidates); ``strict=True`` raises
+:class:`~repro.errors.ResourceExceededError` instead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..arch import Architecture
+from ..errors import ResourceExceededError
+from ..tile.tree import AnalysisTree
+from ..tile.validate import validate_tree
+from .datamovement import DataMovementAnalysis, DataMovementResult
+from .energy import compute_energy
+from .latency import LatencyAnalysis
+from .metrics import EvaluationResult
+from .resources import ResourceAnalysis
+
+
+class TileFlowModel:
+    """Evaluates analysis trees against an architecture specification.
+
+    ``model_eviction`` / ``model_rmw`` ablate the corresponding
+    data-movement refinements (see
+    :class:`~repro.analysis.datamovement.DataMovementAnalysis`).
+    """
+
+    def __init__(self, arch: Architecture, model_eviction: bool = True,
+                 model_rmw: bool = True):
+        self.arch = arch
+        self.model_eviction = model_eviction
+        self.model_rmw = model_rmw
+
+    def evaluate(self, tree: AnalysisTree, validate: bool = True,
+                 strict: bool = False) -> EvaluationResult:
+        """Run the full tree-based analysis on one mapping.
+
+        Parameters
+        ----------
+        tree:
+            The fusion dataflow to evaluate.
+        validate:
+            Run structural validation first (recommended; disable only for
+            deliberately partial trees in tests).
+        strict:
+            Raise on resource violations instead of recording them.
+        """
+        if validate:
+            validate_tree(tree)
+        movement = DataMovementAnalysis(
+            tree, self.arch, model_eviction=self.model_eviction,
+            model_rmw=self.model_rmw).run()
+        usage, violations = ResourceAnalysis(tree, self.arch, movement).run()
+        cycles, slowdown = LatencyAnalysis(tree, self.arch, movement).run()
+        energy_pj, breakdown = compute_energy(
+            tree.workload, self.arch, movement.traffic)
+        if strict and violations:
+            raise ResourceExceededError(
+                f"mapping {tree.name!r} infeasible on {self.arch.name!r}: "
+                + "; ".join(violations))
+        result = EvaluationResult(
+            tree_name=tree.name,
+            arch_name=self.arch.name,
+            latency_cycles=cycles,
+            energy_pj=energy_pj,
+            total_ops=tree.workload.total_ops,
+            traffic=movement.traffic,
+            resources=usage,
+            violations=violations,
+            energy_breakdown_pj=breakdown,
+            latency_seconds=cycles / (self.arch.frequency_ghz * 1e9),
+            slowdown=slowdown,
+        )
+        return result
+
+    def movement(self, tree: AnalysisTree,
+                 validate: bool = True) -> DataMovementResult:
+        """Run only the data-movement analysis (used by sub-studies)."""
+        if validate:
+            validate_tree(tree)
+        return DataMovementAnalysis(
+            tree, self.arch, model_eviction=self.model_eviction,
+            model_rmw=self.model_rmw).run()

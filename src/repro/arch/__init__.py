@@ -1,0 +1,15 @@
+"""Architecture specifications: memory hierarchies, PE pools, presets."""
+
+from .energy import (DRAM_ENERGY_PJ, MAC_ENERGY_PJ, REGISTER_ENERGY_PJ,
+                     level_energy_pj, sram_access_energy_pj)
+from .presets import (PRESETS, by_name, cloud, edge, gpu_like,
+                      validation_accelerator)
+from .spec import Architecture, MemoryLevel
+
+__all__ = [
+    "Architecture", "MemoryLevel",
+    "PRESETS", "by_name", "cloud", "edge", "gpu_like",
+    "validation_accelerator",
+    "DRAM_ENERGY_PJ", "MAC_ENERGY_PJ", "REGISTER_ENERGY_PJ",
+    "level_energy_pj", "sram_access_energy_pj",
+]

@@ -1,0 +1,54 @@
+"""Per-access energy tables (Accelergy substitute).
+
+The paper delegates energy estimation to Accelergy/Timeloop lookup tables
+(§5.3).  We embed representative 22 nm-class constants: register-file access
+is cheap, SRAM access energy grows roughly with the square root of capacity
+(longer bitlines/wordlines), and DRAM access dominates everything.  The
+absolute values are not the point — the *ratios* drive every energy result
+in the paper (Fig. 8b, Fig. 13) and these ratios match the published
+Accelergy characterizations within a small factor.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Energy per word for a register-file access (pJ).
+REGISTER_ENERGY_PJ = 0.12
+
+#: Energy per word for a DRAM access (pJ).
+DRAM_ENERGY_PJ = 200.0
+
+#: Energy per MAC operation (pJ), 16-bit operands.
+MAC_ENERGY_PJ = 0.56
+
+#: Reference SRAM: a 32 KB buffer costs this much per word (pJ).
+_SRAM_REF_BYTES = 32 * 1024
+_SRAM_REF_ENERGY_PJ = 2.0
+
+
+def sram_access_energy_pj(capacity_bytes: int) -> float:
+    """Energy per word for an SRAM of the given capacity.
+
+    Scales with the square root of capacity relative to a 32 KB reference
+    array, the standard first-order CACTI/Accelergy behaviour.  This is what
+    makes Fig. 13's observation reproducible: enlarging L1 from 200 KB to
+    1 MB raises the per-access cost so L1 dominates the energy breakdown.
+    """
+    if capacity_bytes <= 0:
+        raise ValueError("capacity must be positive")
+    return _SRAM_REF_ENERGY_PJ * math.sqrt(capacity_bytes / _SRAM_REF_BYTES)
+
+
+def level_energy_pj(name: str, capacity_bytes) -> float:
+    """Default per-word access energy for a memory level.
+
+    ``None`` capacity (DRAM) gets the DRAM constant; the innermost
+    register-class level (capacity under 64 KB named "Reg"/"L0") gets the
+    register constant; everything else is size-scaled SRAM.
+    """
+    if capacity_bytes is None:
+        return DRAM_ENERGY_PJ
+    if name.lower() in ("reg", "l0", "rf") :
+        return REGISTER_ENERGY_PJ
+    return sram_access_energy_pj(capacity_bytes)

@@ -1,0 +1,146 @@
+"""Ready-made architecture specifications from the paper.
+
+* :func:`edge` and :func:`cloud` — Table 4 of the paper.
+* :func:`validation_accelerator` — the TPU-derived accelerator of §7.1
+  (4 cores, 16x16 MM array + 16x3 vector array per core, 384 KB/core,
+  25.6 GB/s DRAM, 400 MHz, 16-bit words).
+* :func:`gpu_like` — an A100-class specification used for the Table 8
+  substitution (see DESIGN.md).
+
+All bandwidths listed as aggregate numbers in the paper are divided evenly
+over the level's fanout, because each level instance serves one spatial
+partition of the machine.
+"""
+
+from __future__ import annotations
+
+from .energy import (DRAM_ENERGY_PJ, MAC_ENERGY_PJ, REGISTER_ENERGY_PJ,
+                     sram_access_energy_pj)
+from .spec import Architecture, MemoryLevel
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def _reg(fanout: int, capacity=64 * KB, bandwidth_gbs=3000.0) -> MemoryLevel:
+    return MemoryLevel("Reg", capacity, bandwidth_gbs, fanout=fanout,
+                       read_energy_pj=REGISTER_ENERGY_PJ)
+
+
+def _sram(name: str, capacity: int, bandwidth_gbs: float,
+          fanout: int) -> MemoryLevel:
+    return MemoryLevel(name, capacity, bandwidth_gbs, fanout=fanout,
+                       read_energy_pj=sram_access_energy_pj(capacity))
+
+
+def _dram(bandwidth_gbs: float) -> MemoryLevel:
+    return MemoryLevel("DRAM", None, bandwidth_gbs, fanout=1,
+                       read_energy_pj=DRAM_ENERGY_PJ)
+
+
+def edge() -> Architecture:
+    """The Edge accelerator of Table 4.
+
+    32x32 PEs, 4 cores each with a 4 MB L1 (aggregate L1 bandwidth
+    1.2 TB/s per §7.2), 60 GB/s DRAM.
+    """
+    cores = 4
+    return Architecture(
+        name="Edge",
+        levels=(
+            _reg(fanout=cores),
+            _sram("L1", 4 * MB, 1200.0 / cores, fanout=cores),
+            _dram(60.0),
+        ),
+        pe_count=32 * 32,
+        vector_pe_count=32 * 32 // 5,
+        frequency_ghz=1.0,
+        mac_energy_pj=MAC_ENERGY_PJ,
+    )
+
+
+def cloud() -> Architecture:
+    """The Cloud accelerator of Table 4.
+
+    256x256 PEs, 4 cores x 16 sub-cores.  Each core has a 40 MB L2; the
+    20 MB of L1 per core is split over its 16 sub-cores.  Aggregate
+    bandwidths (9.6 TB/s L1, 1.9 TB/s L2 per §7.3) are divided per
+    instance; DRAM is 384 GB/s.
+    """
+    cores = 4
+    sub_cores = cores * 16
+    return Architecture(
+        name="Cloud",
+        levels=(
+            _reg(fanout=sub_cores),
+            _sram("L1", 20 * MB // 16, 9600.0 / sub_cores, fanout=sub_cores),
+            _sram("L2", 40 * MB, 1900.0 / cores, fanout=cores),
+            _dram(384.0),
+        ),
+        pe_count=256 * 256,
+        vector_pe_count=256 * 256 // 5,
+        frequency_ghz=1.0,
+        mac_energy_pj=MAC_ENERGY_PJ,
+    )
+
+
+def validation_accelerator() -> Architecture:
+    """The TPU-derived accelerator used for model validation (§7.1).
+
+    Four cores; per core one 16x16 matrix array and one 16x3 vector array
+    plus a 384 KB buffer.  25.6 GB/s DRAM, 400 MHz, 16-bit words.
+    """
+    cores = 4
+    return Architecture(
+        name="TPU-derived",
+        levels=(
+            _reg(fanout=cores, capacity=16 * KB, bandwidth_gbs=400.0),
+            _sram("L1", 384 * KB, 102.4, fanout=cores),
+            _dram(25.6),
+        ),
+        pe_count=cores * 16 * 16,
+        vector_pe_count=cores * 16 * 3,
+        frequency_ghz=0.4,
+        mac_energy_pj=MAC_ENERGY_PJ,
+    )
+
+
+def gpu_like() -> Architecture:
+    """An A100-class specification for the Table 8 substitution.
+
+    108 SMs each with 192 KB of shared memory (the L1 role), a 40 MB L2,
+    and ~1.5 TB/s HBM.  Compute is modeled as a large MAC pool matching
+    A100's half-precision tensor throughput at 1.41 GHz.
+    """
+    sms = 108
+    return Architecture(
+        name="GPU-like",
+        levels=(
+            _reg(fanout=sms, capacity=256 * KB, bandwidth_gbs=2000.0),
+            _sram("L1", 192 * KB, 19400.0 / sms, fanout=sms),
+            _sram("L2", 40 * MB, 7000.0, fanout=1),
+            _dram(1555.0),
+        ),
+        pe_count=sms * 2048,
+        vector_pe_count=sms * 256,
+        frequency_ghz=1.41,
+        mac_energy_pj=MAC_ENERGY_PJ,
+    )
+
+
+PRESETS = {
+    "edge": edge,
+    "cloud": cloud,
+    "validation": validation_accelerator,
+    "gpu": gpu_like,
+}
+
+
+def by_name(name: str) -> Architecture:
+    """Look up a preset architecture by registry name."""
+    try:
+        return PRESETS[name.lower()]()
+    except KeyError:
+        raise KeyError(
+            f"unknown architecture preset {name!r}; "
+            f"choose from {sorted(PRESETS)}") from None

@@ -1,0 +1,209 @@
+"""Accelerator architecture specifications.
+
+An :class:`Architecture` is a hierarchy of memory levels — index 0 is the
+innermost on-chip buffer (registers / L0 next to the PEs) and the last index
+is off-chip DRAM — plus compute resources (a pool of PEs, optionally a
+separate vector unit pool for non-MAC operators, as in the paper's
+TPU-derived validation accelerator).
+
+Each memory level may be replicated spatially (``fanout``): the paper's
+Cloud accelerator has one DRAM, 4 cores each with an L2, and 16 sub-cores
+per core each with an L1 (fanout 1 / 4 / 64).  Capacities and bandwidths
+are *per instance*; the analysis multiplies by the number of instances a
+mapping actually occupies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..errors import ArchitectureError
+
+
+class MemoryLevel:
+    """One level of the memory hierarchy.
+
+    Parameters
+    ----------
+    name:
+        Level name ("Reg", "L1", "L2", "DRAM", ...), unique per architecture.
+    capacity_bytes:
+        Usable capacity of one instance; ``None`` means unbounded (DRAM).
+    bandwidth_gbs:
+        Bandwidth of one instance in GB/s.
+    fanout:
+        Number of parallel instances of this level in the whole machine.
+    read_energy_pj / write_energy_pj:
+        Energy per *word* access (word size set by the workload's tensors).
+    """
+
+    __slots__ = ("name", "capacity_bytes", "bandwidth_gbs", "fanout",
+                 "read_energy_pj", "write_energy_pj")
+
+    def __init__(self, name: str, capacity_bytes: Optional[int],
+                 bandwidth_gbs: float, fanout: int = 1,
+                 read_energy_pj: float = 1.0,
+                 write_energy_pj: Optional[float] = None):
+        if not name:
+            raise ArchitectureError("memory level name must be non-empty")
+        if capacity_bytes is not None and capacity_bytes <= 0:
+            raise ArchitectureError(
+                f"level {name!r}: capacity must be positive or None")
+        if bandwidth_gbs <= 0:
+            raise ArchitectureError(f"level {name!r}: bandwidth must be positive")
+        if fanout <= 0:
+            raise ArchitectureError(f"level {name!r}: fanout must be positive")
+        self.name = name
+        self.capacity_bytes = capacity_bytes
+        self.bandwidth_gbs = float(bandwidth_gbs)
+        self.fanout = int(fanout)
+        self.read_energy_pj = float(read_energy_pj)
+        self.write_energy_pj = float(
+            write_energy_pj if write_energy_pj is not None else read_energy_pj)
+
+    def bytes_per_cycle(self, frequency_ghz: float) -> float:
+        """Per-instance bandwidth expressed in bytes per clock cycle."""
+        return self.bandwidth_gbs / frequency_ghz
+
+    def with_(self, **overrides) -> "MemoryLevel":
+        """A copy of this level with some fields replaced."""
+        fields = {
+            "name": self.name,
+            "capacity_bytes": self.capacity_bytes,
+            "bandwidth_gbs": self.bandwidth_gbs,
+            "fanout": self.fanout,
+            "read_energy_pj": self.read_energy_pj,
+            "write_energy_pj": self.write_energy_pj,
+        }
+        fields.update(overrides)
+        return MemoryLevel(**fields)
+
+    def __repr__(self) -> str:
+        cap = ("inf" if self.capacity_bytes is None
+               else f"{self.capacity_bytes / 1024:.0f}KB")
+        return (f"MemoryLevel({self.name}: {cap} x{self.fanout}, "
+                f"{self.bandwidth_gbs:g}GB/s)")
+
+
+class Architecture:
+    """A complete spatial accelerator specification.
+
+    Parameters
+    ----------
+    name:
+        Specification name ("Edge", "Cloud", ...).
+    levels:
+        Memory levels ordered innermost (index 0) to outermost (DRAM last).
+        Fanouts must be non-increasing from inner to outer levels.
+    pe_count:
+        Total number of MAC PEs in the whole machine.
+    vector_pe_count:
+        Total vector lanes for non-MAC operators; defaults to ``pe_count``.
+    frequency_ghz:
+        Clock frequency used to convert bandwidths to bytes/cycle.
+    mac_energy_pj:
+        Energy per MAC operation.
+    """
+
+    def __init__(self, name: str, levels: Sequence[MemoryLevel],
+                 pe_count: int, vector_pe_count: Optional[int] = None,
+                 frequency_ghz: float = 1.0, mac_energy_pj: float = 0.56):
+        if len(levels) < 2:
+            raise ArchitectureError(
+                f"architecture {name!r} needs at least an on-chip level "
+                f"and DRAM")
+        names = [lv.name for lv in levels]
+        if len(set(names)) != len(names):
+            raise ArchitectureError(
+                f"architecture {name!r} has duplicate level names")
+        for inner, outer in zip(levels, levels[1:]):
+            if inner.fanout < outer.fanout:
+                raise ArchitectureError(
+                    f"architecture {name!r}: fanout must not increase "
+                    f"outward ({inner.name}={inner.fanout} < "
+                    f"{outer.name}={outer.fanout})")
+        if levels[-1].capacity_bytes is not None:
+            raise ArchitectureError(
+                f"architecture {name!r}: outermost level must be unbounded "
+                f"(DRAM)")
+        if pe_count <= 0:
+            raise ArchitectureError(f"architecture {name!r}: pe_count must "
+                                    f"be positive")
+        if frequency_ghz <= 0:
+            raise ArchitectureError(f"architecture {name!r}: frequency must "
+                                    f"be positive")
+        self.name = name
+        self.levels: Tuple[MemoryLevel, ...] = tuple(levels)
+        self.pe_count = int(pe_count)
+        self.vector_pe_count = int(
+            vector_pe_count if vector_pe_count is not None else pe_count)
+        self.frequency_ghz = float(frequency_ghz)
+        self.mac_energy_pj = float(mac_energy_pj)
+        self._index: Dict[str, int] = {lv.name: i for i, lv in
+                                       enumerate(self.levels)}
+
+    # ------------------------------------------------------------------
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def dram(self) -> MemoryLevel:
+        """The outermost (off-chip) level."""
+        return self.levels[-1]
+
+    @property
+    def dram_index(self) -> int:
+        return len(self.levels) - 1
+
+    @property
+    def innermost(self) -> MemoryLevel:
+        return self.levels[0]
+
+    def level(self, index: int) -> MemoryLevel:
+        try:
+            return self.levels[index]
+        except IndexError:
+            raise ArchitectureError(
+                f"architecture {self.name!r} has no level {index}") from None
+
+    def level_index(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise ArchitectureError(
+                f"architecture {self.name!r} has no level named {name!r}"
+            ) from None
+
+    def on_chip_levels(self) -> Tuple[MemoryLevel, ...]:
+        """All levels except DRAM."""
+        return self.levels[:-1]
+
+    def compute_units(self, kind: str) -> int:
+        """PE pool size for operators of ``kind`` ("mac" vs vector ops)."""
+        return self.pe_count if kind == "mac" else self.vector_pe_count
+
+    def with_(self, **overrides) -> "Architecture":
+        """A copy with some top-level fields replaced (levels included)."""
+        fields = {
+            "name": self.name,
+            "levels": self.levels,
+            "pe_count": self.pe_count,
+            "vector_pe_count": self.vector_pe_count,
+            "frequency_ghz": self.frequency_ghz,
+            "mac_energy_pj": self.mac_energy_pj,
+        }
+        fields.update(overrides)
+        return Architecture(**fields)
+
+    def with_level(self, name: str, **overrides) -> "Architecture":
+        """A copy with one memory level's fields replaced."""
+        idx = self.level_index(name)
+        levels = list(self.levels)
+        levels[idx] = levels[idx].with_(**overrides)
+        return self.with_(levels=tuple(levels))
+
+    def __repr__(self) -> str:
+        lv = " > ".join(repr(l) for l in reversed(self.levels))
+        return (f"Architecture({self.name}: {self.pe_count} PEs @ "
+                f"{self.frequency_ghz:g}GHz; {lv})")

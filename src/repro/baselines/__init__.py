@@ -1,0 +1,11 @@
+"""Baseline performance models used in the validation experiments."""
+
+from .graphbased import GraphBasedModel, GraphBasedResult
+from .polyhedron import (MappingLoop, PolyhedronMapping, PolyhedronModel,
+                         PolyhedronResult)
+
+__all__ = [
+    "PolyhedronModel", "PolyhedronMapping", "PolyhedronResult",
+    "MappingLoop",
+    "GraphBasedModel", "GraphBasedResult",
+]

@@ -1,0 +1,228 @@
+"""Polyhedron-based single-operator performance model (Timeloop stand-in).
+
+This is an *independent* implementation of the classic per-level reuse
+analysis used by Timeloop/MAESTRO-class models (§2.3): a single operator's
+perfectly nested loops are split across memory levels, and each level's
+fill traffic is its resident slice times the product of the loop counts
+above that cannot be reused across.  No tree machinery, no box-delta
+arithmetic — so agreement with the tree-based engine on single operators
+(Fig. 8a/8b) is a meaningful cross-check, not a tautology.
+
+The model deliberately supports only single operators; that limitation is
+exactly why the paper needs tree-based analysis for fusion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..arch import Architecture
+from ..errors import MappingError
+from ..ir import Operator, TensorAccess, Workload
+
+
+@dataclass(frozen=True)
+class MappingLoop:
+    """One loop of a polyhedron mapping."""
+
+    dim: str
+    count: int
+    spatial: bool = False
+
+
+@dataclass
+class PolyhedronMapping:
+    """A single-operator mapping: loops per level, outermost level first.
+
+    ``levels[0]`` holds the loops at the outermost on-chip boundary (fills
+    from DRAM), the last entry holds the innermost (register) loops.  The
+    product of counts per dim over all levels must equal the dim size.
+    """
+
+    levels: List[List[MappingLoop]]
+
+    def validate(self, op: Operator) -> None:
+        totals: Dict[str, int] = {d: 1 for d in op.dims}
+        for level in self.levels:
+            for loop in level:
+                if loop.dim not in op.dims:
+                    raise MappingError(
+                        f"mapping loop over unknown dim {loop.dim!r}")
+                totals[loop.dim] *= loop.count
+        for d, size in op.dims.items():
+            if totals[d] != size:
+                raise MappingError(
+                    f"mapping covers {totals[d]} of dim {d!r} (size {size})")
+
+    def coverage_below(self, level_index: int) -> Dict[str, int]:
+        """Per-dim extent of one resident slice at ``level_index``.
+
+        Covers every loop of deeper levels plus the *spatial* loops of the
+        level itself (spatial instances co-reside; the level's temporal
+        loops are the time steps that replace the slice).
+        """
+        cov: Dict[str, int] = {}
+        for loop in self.levels[level_index]:
+            if loop.spatial:
+                cov[loop.dim] = cov.get(loop.dim, 1) * loop.count
+        for level in self.levels[level_index + 1:]:
+            for loop in level:
+                cov[loop.dim] = cov.get(loop.dim, 1) * loop.count
+        return cov
+
+    def temporal_loops_above(self, level_index: int
+                             ) -> List[MappingLoop]:
+        """Temporal loops at and above ``level_index``, inner to outer."""
+        loops: List[MappingLoop] = []
+        for level in reversed(self.levels[:level_index + 1]):
+            for loop in reversed(level):
+                if not loop.spatial:
+                    loops.append(loop)
+        return loops
+
+    def spatial_size(self) -> int:
+        n = 1
+        for level in self.levels:
+            for loop in level:
+                if loop.spatial:
+                    n *= loop.count
+        return n
+
+
+@dataclass
+class PolyhedronResult:
+    """Cycle/energy estimate plus per-level word traffic."""
+
+    cycles: float
+    energy_pj: float
+    traffic_words: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    compute_cycles: float = 0.0
+    io_cycles: Dict[int, float] = field(default_factory=dict)
+
+
+class PolyhedronModel:
+    """Evaluates single-operator mappings on an architecture."""
+
+    def __init__(self, arch: Architecture):
+        self.arch = arch
+
+    # ------------------------------------------------------------------
+    def evaluate(self, workload: Workload,
+                 mapping: PolyhedronMapping) -> PolyhedronResult:
+        if len(workload.operators) != 1:
+            raise MappingError(
+                "the polyhedron model supports single-operator workloads "
+                "only (this is the limitation fusion analysis removes)")
+        op = workload.operators[0]
+        mapping.validate(op)
+        n_onchip = len(mapping.levels)
+        if n_onchip != self.arch.dram_index:
+            raise MappingError(
+                f"mapping has {n_onchip} levels; architecture "
+                f"{self.arch.name!r} has {self.arch.dram_index} on-chip "
+                f"levels")
+
+        traffic: Dict[int, Dict[str, float]] = {
+            i: {} for i in range(self.arch.num_levels)}
+        # Level i of the mapping corresponds to buffer level
+        # (dram_index - 1 - i): mapping level 0 fills from DRAM.
+        for mi in range(n_onchip):
+            buffer_level = self.arch.dram_index - 1 - mi
+            for access, is_output in self._accesses(op):
+                words = self._fill_words(op, mapping, mi, access, is_output)
+                name = access.tensor.name
+                traffic[buffer_level][name] = (
+                    traffic[buffer_level].get(name, 0.0) + words)
+
+        cycles, compute, io = self._latency(op, mapping, traffic)
+        energy = self._energy(op, traffic)
+        return PolyhedronResult(cycles=cycles, energy_pj=energy,
+                                traffic_words=traffic,
+                                compute_cycles=compute, io_cycles=io)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _accesses(op: Operator):
+        for a in op.inputs:
+            yield a, False
+        yield op.output, True
+
+    @staticmethod
+    def _relevant(access: TensorAccess, dim: str) -> bool:
+        return any(e.coeff(dim) != 0 for e in access.exprs)
+
+    def _fill_words(self, op: Operator, mapping: PolyhedronMapping,
+                    level_index: int, access: TensorAccess,
+                    is_output: bool) -> float:
+        """Words moved into mapping level ``level_index`` for one tensor.
+
+        Classic reuse rule: walking the temporal loops above the buffer
+        from inner to outer, a loop multiplies the traffic if it is
+        relevant to the tensor *or* if any relevant loop is nested inside
+        it (the inner sweep displaced the resident slice, so it cannot be
+        reused).  Irrelevant loops with no relevant loop inside permit
+        full reuse.
+        """
+        cov = mapping.coverage_below(level_index)
+        slice_words = float(access.footprint_over(cov))
+        mult = 1.0
+        relevant_seen = False
+        rmw = False
+        for loop in mapping.temporal_loops_above(level_index):
+            if loop.count == 1:
+                continue  # degenerate loop: no time steps, no reuse break
+            relevant = self._relevant(access, loop.dim)
+            if relevant:
+                relevant_seen = True
+                mult *= loop.count
+            elif relevant_seen:
+                mult *= loop.count
+                if is_output and loop.dim in op.reduction_dims:
+                    rmw = True
+            # else: fully reusable across this loop.
+        words = slice_words * mult
+        if is_output and rmw:
+            words *= 2.0  # partial sums written back and refetched
+        return words
+
+    # ------------------------------------------------------------------
+    def _latency(self, op: Operator, mapping: PolyhedronMapping,
+                 traffic: Dict[int, Dict[str, float]]
+                 ) -> Tuple[float, float, Dict[int, float]]:
+        spatial = max(1, mapping.spatial_size())
+        pool = self.arch.compute_units(op.kind)
+        waves = max(1.0, spatial / pool)
+        compute = (op.iteration_volume / spatial) * waves \
+            * op.ops_per_point
+        word_bytes = op.output.tensor.word_bytes
+        io: Dict[int, float] = {}
+        for mi in range(len(mapping.levels)):
+            source = self.arch.dram_index - mi  # level data comes from
+            level = self.arch.level(source)
+            buffer_level = source - 1
+            words = sum(traffic[buffer_level].values())
+            bw = level.bytes_per_cycle(self.arch.frequency_ghz) \
+                * level.fanout
+            io[source] = words * word_bytes / bw
+        cycles = max([compute] + list(io.values()))
+        return cycles, compute, io
+
+    def _energy(self, op: Operator,
+                traffic: Dict[int, Dict[str, float]]) -> float:
+        total = op.total_ops * self.arch.mac_energy_pj
+        # Compute-side register accesses: each iteration point reads its
+        # operands from and writes its accumulator to the innermost level.
+        reg = self.arch.innermost
+        total += op.iteration_volume * (
+            len(op.inputs) * reg.read_energy_pj + reg.write_energy_pj)
+        for buffer_level, tensors in traffic.items():
+            words = sum(tensors.values())
+            if not words:
+                continue
+            # A fill writes the buffer and reads its source level.
+            level = self.arch.level(buffer_level)
+            source = self.arch.level(
+                min(buffer_level + 1, self.arch.dram_index))
+            total += words * (level.write_energy_pj + source.read_energy_pj)
+        return total

@@ -1,0 +1,218 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Thin wrappers over the library for the common flows:
+
+* ``evaluate``  — build a named dataflow for a workload and print the
+  evaluation summary (optionally the tree and notation).
+* ``compare``   — run the dataflow comparison for one workload family.
+* ``search``    — run the GA+MCTS mapper on one workload.
+* ``validate``  — run the Fig. 8 validation sweeps.
+* ``experiment``— regenerate one paper table/figure by id (fig10, tab7,
+  ...), the same output the benches print.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import arch as arch_mod
+from .analysis import TileFlowModel
+from .dataflows import (ATTENTION_DATAFLOWS, CONV_DATAFLOWS,
+                        attention_dataflow, conv_dataflow)
+from .mapper import TileFlowMapper
+from .tile import render_notation
+from .workloads import (ATTENTION_SHAPES, CONV_CHAIN_SHAPES,
+                        attention_from_shape, conv_chain_from_shape)
+
+
+def _workload(args):
+    if args.workload in ATTENTION_SHAPES:
+        return attention_from_shape(ATTENTION_SHAPES[args.workload])
+    if args.workload in CONV_CHAIN_SHAPES:
+        return conv_chain_from_shape(CONV_CHAIN_SHAPES[args.workload])
+    raise SystemExit(
+        f"unknown workload {args.workload!r}; choose an attention shape "
+        f"{sorted(ATTENTION_SHAPES)} or conv chain {sorted(CONV_CHAIN_SHAPES)}")
+
+
+def _dataflow(workload, name, spec):
+    if "conv1" in {op.name for op in workload.operators}:
+        return conv_dataflow(name, workload, spec)
+    return attention_dataflow(name, workload, spec)
+
+
+def cmd_evaluate(args) -> int:
+    workload = _workload(args)
+    spec = arch_mod.by_name(args.arch)
+    tree = _dataflow(workload, args.dataflow, spec)
+    result = TileFlowModel(spec).evaluate(tree)
+    if args.json:
+        import json
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0 if result.feasible else 1
+    if args.show_tree:
+        print(tree.render())
+        print()
+    if args.show_notation:
+        print(render_notation(tree))
+        print()
+    print(result.summary())
+    return 0 if result.feasible else 1
+
+
+def cmd_compare(args) -> int:
+    workload = _workload(args)
+    spec = arch_mod.by_name(args.arch)
+    names = (CONV_DATAFLOWS if "conv1" in
+             {op.name for op in workload.operators} else
+             ATTENTION_DATAFLOWS)
+    model = TileFlowModel(spec)
+    base = None
+    print(f"{'dataflow':12s} {'cycles':>12s} {'speedup':>8s} "
+          f"{'DRAM words':>12s}")
+    for name in names:
+        result = model.evaluate(_dataflow(workload, name, spec))
+        base = base or result.latency_cycles
+        print(f"{name:12s} {result.latency_cycles:12.4g} "
+              f"{base / result.latency_cycles:7.2f}x "
+              f"{result.dram_words():12.4g}")
+    return 0
+
+
+def cmd_search(args) -> int:
+    workload = _workload(args)
+    spec = arch_mod.by_name(args.arch)
+    mapper = TileFlowMapper(workload, spec, seed=args.seed)
+    result = mapper.explore(generations=args.generations,
+                            population=args.population,
+                            mcts_samples=args.samples)
+    print(f"best ordering/binding: "
+          f"{result.best_genome.describe(workload)}")
+    print(f"best factors         : {result.best_factors}")
+    print(result.best_result.summary())
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from .experiments.validation import (format_validation,
+                                         validate_against_accelerator,
+                                         validate_against_polyhedron)
+    poly = validate_against_polyhedron(limit=args.mappings)
+    accel = validate_against_accelerator(limit=min(131, args.mappings))
+    print(format_validation(poly, accel))
+    return 0
+
+
+_EXPERIMENTS = ("fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+                "fig14", "tab6", "tab7", "tab8", "ablation")
+
+
+def cmd_experiment(args) -> int:
+    eid = args.id.lower()
+    if eid == "fig8":
+        return cmd_validate(argparse.Namespace(mappings=1152))
+    if eid == "fig9":
+        from .experiments.exploration import (factor_tuning_trace,
+                                              format_traces)
+        traces = factor_tuning_trace(samples=40)
+        print(format_traces(traces, "Figure 9a"))
+        return 0
+    if eid in ("fig10", "fig11"):
+        from .experiments.comparison import (attention_comparison,
+                                             format_normalized_cycles)
+        spec = arch_mod.edge() if eid == "fig10" else arch_mod.cloud()
+        result = attention_comparison(spec)
+        print(format_normalized_cycles(result, f"Figure {eid[3:]}a"))
+        return 0
+    if eid == "fig12":
+        from .experiments.comparison import (conv_comparison,
+                                             format_normalized_cycles)
+        print(format_normalized_cycles(conv_comparison(), "Figure 12a"))
+        return 0
+    if eid == "fig13":
+        from .experiments.energy_breakdown import (energy_breakdown,
+                                                   format_breakdown)
+        print(format_breakdown(energy_breakdown()))
+        return 0
+    if eid == "fig14":
+        from .experiments.sensitivity import (bandwidth_sensitivity,
+                                              format_bandwidth_sweep)
+        for shape in ("CC1", "CC2"):
+            print(format_bandwidth_sweep(bandwidth_sensitivity(shape)))
+        return 0
+    if eid == "tab6":
+        from .experiments.sensitivity import format_pe_sweep, pe_size_sweep
+        print(format_pe_sweep(pe_size_sweep()))
+        return 0
+    if eid == "tab7":
+        from .experiments.sensitivity import (format_granularity,
+                                              granularity_study)
+        for scenario in ("fixed", "explored", "limited"):
+            print(format_granularity(scenario,
+                                     granularity_study(scenario)))
+        return 0
+    if eid == "tab8":
+        from .experiments.gpu import format_gpu, gpu_evaluation
+        print(format_gpu(gpu_evaluation()))
+        return 0
+    if eid == "ablation":
+        from .experiments.ablation import (binding_ablation,
+                                           format_binding_ablation,
+                                           format_rule_ablation,
+                                           movement_rule_ablation)
+        for rule in ("eviction", "rmw"):
+            print(format_rule_ablation(rule, movement_rule_ablation(rule)))
+        print(format_binding_ablation(binding_ablation()))
+        return 0
+    raise SystemExit(f"unknown experiment {args.id!r}; "
+                     f"choose from {_EXPERIMENTS}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="TileFlow reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("evaluate", help="evaluate one dataflow")
+    p.add_argument("workload", help="shape name (Bert-S, CC1, ...)")
+    p.add_argument("dataflow", help="dataflow template name")
+    p.add_argument("--arch", default="edge")
+    p.add_argument("--show-tree", action="store_true")
+    p.add_argument("--show-notation", action="store_true")
+    p.add_argument("--json", action="store_true",
+                   help="emit the evaluation as JSON")
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("compare", help="compare all dataflows")
+    p.add_argument("workload")
+    p.add_argument("--arch", default="edge")
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser("search", help="run the GA+MCTS mapper")
+    p.add_argument("workload")
+    p.add_argument("--arch", default="edge")
+    p.add_argument("--generations", type=int, default=6)
+    p.add_argument("--population", type=int, default=10)
+    p.add_argument("--samples", type=int, default=20)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_search)
+
+    p = sub.add_parser("validate", help="Fig. 8 validation sweeps")
+    p.add_argument("--mappings", type=int, default=256)
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("experiment", help="regenerate a table/figure")
+    p.add_argument("id", help=f"one of {_EXPERIMENTS}")
+    p.set_defaults(func=cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,24 @@
+"""Named dataflow templates from the paper's evaluation (Table 5)."""
+
+from .attention_dataflows import (ATTENTION_DATAFLOWS, AttentionGeometry,
+                                  attention_dataflow, attention_factor_space,
+                                  chimera, flat, flat_hgran, flat_rgran,
+                                  layerwise, tileflow, unipipe)
+from .builders import (divisors, fit_rect, floor_divisor, near_divisor,
+                       near_tile, tile_choices)
+from .conv_dataflows import (CONV_DATAFLOWS, ConvChainGeometry,
+                             conv_dataflow, conv_factor_space,
+                             conv_layerwise, conv_tileflow, fused_layer,
+                             isos)
+
+__all__ = [
+    "ATTENTION_DATAFLOWS", "attention_dataflow", "attention_factor_space",
+    "AttentionGeometry",
+    "layerwise", "unipipe", "flat", "flat_hgran", "flat_rgran",
+    "chimera", "tileflow",
+    "CONV_DATAFLOWS", "conv_dataflow", "conv_factor_space",
+    "ConvChainGeometry",
+    "conv_layerwise", "fused_layer", "isos", "conv_tileflow",
+    "divisors", "near_divisor", "floor_divisor", "near_tile",
+    "tile_choices", "fit_rect",
+]

@@ -1,0 +1,420 @@
+"""Named self-attention dataflows (Table 5 and §7.5 of the paper).
+
+Each dataflow is a *template*: ``build(workload, arch, factors)`` returns
+an analysis tree.  The templates transcribe the paper's descriptions:
+
+* **Layerwise** — no fusion; each operator mapped to the whole machine in
+  turn, intermediates staged through DRAM.
+* **Uni-pipe** — pipeline ``Q x K`` and the softmax without tiling
+  batch/heads spatially (one core active); ``A = L x V`` runs separately.
+* **FLAT-MGran/BGran/HGran/RGran** — fuse all stages and tile nothing /
+  batch / batch+heads / batch+heads+rows (§7.5's granularity family; HGran
+  and RGran are the Table 5 rows).
+* **Chimera** — fuse all stages and tile every shared dim, including the
+  key/column dimension, executing stages in turns on a shared buffer.
+* **TileFlow** — the dataflow the paper's mapper discovers (§7.2): all
+  three stages pipelined with all loops tiled.
+
+Workloads may use the compact 3-operator attention (``softmax`` as one
+operator) or the expanded 7-operator form (§7.2); the builders handle
+both by classifying operators by kind.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..arch import Architecture
+from ..errors import MappingError
+from ..ir import Operator, Workload
+from ..tile.bindings import Binding
+from ..tile.loops import Loop, spatial, temporal
+from ..tile.tree import AnalysisTree, FusionNode, OpTile, TileNode
+from .builders import (check_divides, floor_divisor, leaf_extent,
+                       leaf_loops, mid_loops, near_divisor, near_tile,
+                       tile_choices)
+
+
+@dataclass(frozen=True)
+class AttentionGeometry:
+    """Shape parameters extracted from an attention workload."""
+
+    batch: int
+    heads: int
+    rows: int      # m (query sequence length)
+    cols: int      # l (key sequence length)
+    depth: int     # k / n (per-head feature dim)
+
+    @staticmethod
+    def of(workload: Workload) -> "AttentionGeometry":
+        qk = workload.operator("qk")
+        return AttentionGeometry(
+            batch=qk.dims["b"], heads=qk.dims["h"], rows=qk.dims["m"],
+            cols=qk.dims["l"], depth=qk.dims["k"])
+
+
+def _is_attention(workload: Workload) -> bool:
+    names = {op.name for op in workload.operators}
+    return "qk" in names and "av" in names
+
+
+def _leaf_config(op: Operator, ms: int, ls: int, ns: int, vs: int
+                 ) -> Tuple[Dict[str, int], Dict[str, int]]:
+    """(spatial extents, temporal extents) of one PE-array tile."""
+    if op.name == "qk":
+        return {"m": ms, "l": ls}, {"k": op.dims["k"]}
+    if op.name == "av":
+        return {"m": ms, "n": ns}, {"l": ls}
+    # softmax family (single-op or expanded): vector tiles over one
+    # row-block, sweeping the key dimension temporally.
+    sp = {"m": vs}
+    tp = {"l": ls} if "l" in op.dims else {}
+    return sp, tp
+
+
+class _AttentionBuilder:
+    """Shared machinery for the attention templates."""
+
+    def __init__(self, workload: Workload, arch: Architecture,
+                 concurrent_mac_chains: int = 1,
+                 leaf_units: Optional[int] = None):
+        if not _is_attention(workload):
+            raise MappingError(
+                f"workload {workload.name!r} is not a self-attention layer")
+        self.workload = workload
+        self.arch = arch
+        self.geom = AttentionGeometry.of(workload)
+        self.top_level = arch.num_levels - 2  # outermost on-chip level
+        self.cores = arch.level(self.top_level).fanout
+        self.sub_cores = (arch.level(1).fanout // self.cores
+                          if self.top_level > 1 else 1)
+        # PE budget for one matmul leaf: the pool divided over the spatial
+        # units the dataflow occupies and the concurrently pipelined matmul
+        # stages.  Uni-pipe passes leaf_units=cores: its one active
+        # partition is a full core, however many sub-cores that spans.
+        units = leaf_units if leaf_units is not None else arch.level(1).fanout
+        budget = max(4, arch.pe_count // units // concurrent_mac_chains)
+        side = max(2, int(math.sqrt(budget)))
+        self.ms = floor_divisor(self.geom.rows, side)
+        self.ls = floor_divisor(self.geom.cols, max(2, budget // self.ms))
+        self.ns = floor_divisor(self.geom.depth, max(2, budget // self.ms))
+        # Vector lanes for the softmax family: when the softmax operators
+        # run concurrently (Pipe), each gets a slice of the vector pool.
+        n_vec = max(1, sum(1 for op in workload.operators
+                           if op.kind != "mac"))
+        concurrent_vec = n_vec if concurrent_mac_chains > 1 else 1
+        vec_budget = max(1, arch.vector_pe_count // units // concurrent_vec)
+        self.vs = floor_divisor(self.ms, vec_budget)
+
+    # ------------------------------------------------------------------
+    def chain(self, op: Operator, tile: Mapping[str, int], level: int,
+              inner_spatial: Optional[Tuple[str, int]] = None) -> OpTile:
+        """Operator chain: one mid tile at ``level`` over PE-array leaves.
+
+        ``inner_spatial=(dim, count)`` adds a spatial loop at the chain's
+        top — the sub-core distribution on Cloud-like architectures.  The
+        chain then covers ``count * tile[dim]`` along that dim.
+        """
+        sp, tp = _leaf_config(op, self.ms, self.ls, self.ns, self.vs)
+        leaf = OpTile(op, leaf_loops(op, sp, tp), level=0)
+        loops = mid_loops(op, tile, sp, tp)
+        if inner_spatial is not None and inner_spatial[0] in op.dims:
+            d, count = inner_spatial
+            if count > 1:
+                loops = [spatial(d, count, tile.get(d, op.dims[d]))] + loops
+        return OpTile(op, loops, level=level, child=leaf)
+
+    def full_tile(self, overrides: Mapping[str, int]) -> Dict[str, int]:
+        """Per-fusion-iteration extents: full dims unless overridden."""
+        g = self.geom
+        tile = {"b": g.batch, "h": g.heads, "m": g.rows, "l": g.cols,
+                "k": g.depth, "n": g.depth}
+        tile.update(overrides)
+        return tile
+
+    def fusion_loops(self, tile: Mapping[str, int],
+                     spatial_dim: Optional[str], spatial_count: int,
+                     order: Tuple[str, ...] = ("b", "h", "m", "l")
+                     ) -> List[Loop]:
+        """Outer loops of a fusion node for the given tiling."""
+        g = self.geom
+        sizes = {"b": g.batch, "h": g.heads, "m": g.rows, "l": g.cols}
+        loops: List[Loop] = []
+        for d in order:
+            size = sizes[d]
+            if d == spatial_dim and spatial_count > 1:
+                check_divides(spatial_count, size, f"spatial split of {d!r}")
+                block = size // spatial_count
+                loops.append(spatial(d, spatial_count, block))
+                size = block
+            step = tile.get(d, size)
+            check_divides(step, size, f"fusion tiling of {d!r}")
+            if size // step > 1:
+                loops.append(temporal(d, size // step, step))
+        return loops
+
+    def pick_spatial(self, tileable: Tuple[str, ...], units: int,
+                     tile: Mapping[str, int] = ()) -> Tuple[Optional[str], int]:
+        """Choose a dim and split count to spread across ``units``.
+
+        The split is a divisor of the dim's *block count* at the given
+        tiling (so spatial and temporal loops compose exactly), chosen as
+        close to the number of hardware units as the shape allows.
+        """
+        g = self.geom
+        tile = dict(tile)
+        sizes = {"b": g.batch, "h": g.heads, "m": g.rows, "l": g.cols}
+        best: Tuple[Optional[str], int] = (None, 1)
+        for d in tileable:
+            blocks = sizes[d] // tile.get(d, sizes[d])
+            if blocks <= 0:
+                continue
+            split = floor_divisor(blocks, units)
+            if split > best[1]:
+                best = (d, split)
+        return best
+
+
+# ----------------------------------------------------------------------
+# Templates
+# ----------------------------------------------------------------------
+def layerwise(workload: Workload, arch: Architecture,
+              factors: Mapping[str, int] = ()) -> AnalysisTree:
+    """No fusion: map one operator to the hardware at a time.
+
+    Every intermediate tensor's home is the DRAM-level root, so the
+    softmax inputs/outputs stream through DRAM — the baseline all fusion
+    dataflows are normalized against.
+    """
+    factors = dict(factors)
+    b = _AttentionBuilder(workload, arch)
+    g = b.geom
+    m_t = factors.get("m_tile", near_tile(g.rows, b.ms, 4 * b.ms))
+    l_t = factors.get("l_tile", near_tile(g.cols, b.ls, 4 * b.ls))
+    chains: List[TileNode] = []
+    for op in workload.operators:
+        tile = b.full_tile({"b": 1, "h": 1, "m": m_t, "l": l_t})
+        chain = b.chain(op, tile, level=1)
+        sdim, scount = b.pick_spatial(("h", "m"), b.cores, tile)
+        top_loops = b.fusion_loops(tile, sdim, scount)
+        top = OpTile(op, _op_loops(op, top_loops), level=b.top_level,
+                     child=chain)
+        chains.append(top)
+    root = FusionNode([], level=arch.dram_index, children=chains,
+                      binding=Binding.SEQ, name="layerwise")
+    return AnalysisTree(workload, root, name=f"layerwise[{workload.name}]")
+
+
+def _op_loops(op: Operator, loops: List[Loop]) -> List[Loop]:
+    """Restrict shared loops to the dims an operator actually has."""
+    return [lp for lp in loops if lp.dim in op.dims]
+
+
+def unipipe(workload: Workload, arch: Architecture,
+            factors: Mapping[str, int] = ()) -> AnalysisTree:
+    """Pipeline QK and softmax without spatial tiling of batch/heads.
+
+    The fused group iterates (b, h) sequentially on a single spatial
+    partition — the paper notes ~25% spatial utilization on Cloud — while
+    ``av`` runs afterwards with the full machine.
+    """
+    factors = dict(factors)
+    b = _AttentionBuilder(workload, arch, concurrent_mac_chains=1)
+    g = b.geom
+    fused_ops = [op for op in workload.operators if op.name != "av"]
+    tile = b.full_tile({"b": 1, "h": 1})
+    m_t = factors.get("m_tile", g.rows)
+    tile["m"] = m_t
+    children = [b.chain(op, tile, level=b.top_level - 1 or 1)
+                for op in fused_ops]
+    floops = b.fusion_loops(tile, spatial_dim=None, spatial_count=1)
+    fused = FusionNode(floops, level=b.top_level, children=children,
+                       binding=Binding.PIPE, name="unipipe-fused")
+    av = workload.operator("av")
+    av_tile = b.full_tile({"h": 1, "m": near_tile(g.rows, b.ms, 4 * b.ms)})
+    av_chain = b.chain(av, av_tile, level=1)
+    sdim, scount = b.pick_spatial(("h", "m"), b.cores, av_tile)
+    av_top = OpTile(av, _op_loops(av, b.fusion_loops(av_tile, sdim, scount)),
+                    level=b.top_level, child=av_chain)
+    root = FusionNode([], level=arch.dram_index, children=[fused, av_top],
+                      binding=Binding.SEQ, name="unipipe")
+    return AnalysisTree(workload, root, name=f"unipipe[{workload.name}]")
+
+
+def _fused_all_stages(workload: Workload, arch: Architecture, name: str,
+                      binding: Binding, tile_over: Mapping[str, int],
+                      concurrent_mac: int,
+                      spatial_dims: Tuple[str, ...]) -> AnalysisTree:
+    """Common shape of the FLAT / Chimera / TileFlow trees.
+
+    One fusion node per on-chip staging level: the outer node distributes
+    (b, h, m) blocks over cores; on architectures with an L2 a second
+    fusion node distributes finer tiles over sub-cores.
+    """
+    b = _AttentionBuilder(workload, arch, concurrent_mac_chains=concurrent_mac)
+    tile = b.full_tile(tile_over)
+    # Snap row/column tiles to the leaf extents this builder chose (the
+    # factor spaces quantize by a nominal PE width; the actual leaf width
+    # depends on the PE budget).
+    g = b.geom
+    tile["m"] = near_tile(g.rows, b.ms, tile.get("m", g.rows))
+    tile["l"] = near_tile(g.cols, b.ls, tile.get("l", g.cols))
+
+    if b.top_level == 1:  # Edge-like: a single on-chip staging level
+        children: List[TileNode] = [
+            b.chain(op, tile, level=1) for op in workload.operators]
+        sdim, scount = b.pick_spatial(spatial_dims, b.cores, tile)
+        loops = b.fusion_loops(tile, sdim, scount)
+        root = FusionNode(loops, level=1, children=children,
+                          binding=binding, name=name)
+    else:
+        # Cloud-like: the fusion node lives at the L2 level and spreads
+        # blocks over cores; a spatial loop at the top of each operator
+        # chain spreads the remaining tileable blocks over the sub-cores
+        # of a core.  The intermediates' home is therefore L2, matching
+        # FLAT's row staging in the large shared buffer (Fig. 11b shows
+        # the resulting L2 traffic).
+        outer_sdim, outer_scount = b.pick_spatial(spatial_dims, b.cores, tile)
+        remaining = dict(tile)
+        if outer_sdim is not None:
+            remaining[outer_sdim] = tile[outer_sdim] * outer_scount
+        inner_sdim, inner_scount = b.pick_spatial(
+            spatial_dims, b.sub_cores, remaining)
+        effective_tile = dict(tile)
+        inner_spatial = None
+        if inner_sdim is not None and inner_scount > 1:
+            inner_spatial = (inner_sdim, inner_scount)
+            effective_tile[inner_sdim] = tile[inner_sdim] * inner_scount
+        children = [b.chain(op, tile, level=1, inner_spatial=inner_spatial)
+                    for op in workload.operators]
+        loops = b.fusion_loops(effective_tile, outer_sdim, outer_scount)
+        root = FusionNode(loops, level=b.top_level, children=children,
+                          binding=binding, name=name)
+    return AnalysisTree(workload, root, name=f"{name}[{workload.name}]")
+
+
+def flat(workload: Workload, arch: Architecture,
+         factors: Mapping[str, int] = (),
+         granularity: str = "r") -> AnalysisTree:
+    """The FLAT dataflow family (§7.5): fuse all stages, Shar binding.
+
+    ``granularity`` selects what the fused loops tile: ``"m"`` nothing
+    (MGran), ``"b"`` batch, ``"h"`` batch+heads, ``"r"`` batch+heads+rows.
+    """
+    factors = dict(factors)
+    g = AttentionGeometry.of(workload)
+    if granularity not in ("m", "b", "h", "r"):
+        raise MappingError(f"unknown FLAT granularity {granularity!r}")
+    over: Dict[str, int] = {}
+    spatial_dims: Tuple[str, ...] = ()
+    if granularity in ("b", "h", "r"):
+        over["b"] = factors.get("b_tile", 1)
+        spatial_dims = ("b",)
+    if granularity in ("h", "r"):
+        over["h"] = factors.get("h_tile", 1)
+        spatial_dims = ("h", "b")
+    if granularity == "r":
+        ms = near_divisor(g.rows, 16)
+        over["m"] = factors.get("m_tile", near_tile(g.rows, ms, 4 * ms))
+        spatial_dims = ("m", "h", "b")
+    name = {"m": "flat_mgran", "b": "flat_bgran", "h": "flat_hgran",
+            "r": "flat_rgran"}[granularity]
+    return _fused_all_stages(workload, arch, name, Binding.SHAR, over,
+                             concurrent_mac=1, spatial_dims=spatial_dims)
+
+
+def flat_hgran(workload, arch, factors=()):
+    """FLAT-HGran: fuse all stages, tile batch and heads (Table 5)."""
+    return flat(workload, arch, factors, granularity="h")
+
+
+def flat_rgran(workload, arch, factors=()):
+    """FLAT-RGran: fuse all stages, tile batch, heads, and rows."""
+    return flat(workload, arch, factors, granularity="r")
+
+
+def chimera(workload: Workload, arch: Architecture,
+            factors: Mapping[str, int] = ()) -> AnalysisTree:
+    """Chimera: fuse QK and softmax and tile all dimensions (Table 5).
+
+    Like FLAT-RGran but the key/column dimension is tiled at the fusion
+    node as well, shrinking the staged intermediate slices (the paper
+    reports 14.8% of FLAT-HGran's L1 footprint).
+    """
+    factors = dict(factors)
+    g = AttentionGeometry.of(workload)
+    ms, ls = near_divisor(g.rows, 16), near_divisor(g.cols, 16)
+    over = {
+        "b": factors.get("b_tile", 1),
+        "h": factors.get("h_tile", 1),
+        "m": factors.get("m_tile", near_tile(g.rows, ms, 4 * ms)),
+        "l": factors.get("l_tile", near_tile(g.cols, ls, 4 * ls)),
+    }
+    return _fused_all_stages(workload, arch, "chimera", Binding.SHAR, over,
+                             concurrent_mac=1,
+                             spatial_dims=("m", "h", "b"))
+
+
+def tileflow(workload: Workload, arch: Architecture,
+             factors: Mapping[str, int] = ()) -> AnalysisTree:
+    """The TileFlow dataflow (§7.2): pipeline all stages, all loops tiled.
+
+    Identical tiling space to Chimera but a ``Pipe`` binding, so the three
+    stages overlap on disjoint compute partitions — the source of the
+    paper's 1.85x mean speedup over FLAT-HGran on Edge.
+    """
+    factors = dict(factors)
+    g = AttentionGeometry.of(workload)
+    ms, ls = near_divisor(g.rows, 16), near_divisor(g.cols, 16)
+    over = {
+        "b": factors.get("b_tile", 1),
+        "h": factors.get("h_tile", 1),
+        "m": factors.get("m_tile", near_tile(g.rows, ms, 4 * ms)),
+        "l": factors.get("l_tile", near_tile(g.cols, ls, 4 * ls)),
+    }
+    # The two pipelined matmul stages split the PE pool between them.
+    return _fused_all_stages(workload, arch, "tileflow", Binding.PIPE, over,
+                             concurrent_mac=2,
+                             spatial_dims=("m", "h", "b"))
+
+
+# ----------------------------------------------------------------------
+# Registry and factor spaces
+# ----------------------------------------------------------------------
+ATTENTION_DATAFLOWS: Dict[str, Callable[..., AnalysisTree]] = {
+    "layerwise": layerwise,
+    "unipipe": unipipe,
+    "flat_hgran": flat_hgran,
+    "flat_rgran": flat_rgran,
+    "chimera": chimera,
+    "tileflow": tileflow,
+}
+
+
+def attention_dataflow(name: str, workload: Workload, arch: Architecture,
+                       factors: Mapping[str, int] = ()) -> AnalysisTree:
+    """Build a named attention dataflow ("layerwise", "flat_rgran", ...)."""
+    try:
+        template = ATTENTION_DATAFLOWS[name]
+    except KeyError:
+        raise MappingError(
+            f"unknown attention dataflow {name!r}; choose from "
+            f"{sorted(ATTENTION_DATAFLOWS)}") from None
+    return template(workload, arch, factors)
+
+
+def attention_factor_space(name: str,
+                           workload: Workload) -> Dict[str, List[int]]:
+    """Legal tiling-factor choices for a named template (mapper input)."""
+    g = AttentionGeometry.of(workload)
+    ms, ls = near_divisor(g.rows, 16), near_divisor(g.cols, 16)
+    space: Dict[str, List[int]] = {}
+    if name in ("layerwise", "unipipe", "flat_rgran", "chimera", "tileflow"):
+        space["m_tile"] = tile_choices(g.rows, ms)
+    if name in ("layerwise", "chimera", "tileflow"):
+        space["l_tile"] = tile_choices(g.cols, ls)
+    if g.batch > 1 and name != "layerwise":
+        space["b_tile"] = tile_choices(g.batch)
+    return space

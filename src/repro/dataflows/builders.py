@@ -1,0 +1,178 @@
+"""Shared utilities for constructing dataflow analysis trees.
+
+The named dataflows (FLAT, Chimera, Fused-Layer, ...) are *templates*: a
+function from (workload, architecture, tiling factors) to an analysis
+tree.  This module holds the arithmetic helpers the templates share —
+divisor selection, leaf/mid loop construction for operator chains — so
+each template reads as a direct transcription of its paper description.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import MappingError
+from ..ir import Operator
+from ..tile.loops import Loop, spatial, temporal
+
+
+def divisors(n: int) -> List[int]:
+    """All positive divisors of ``n``, ascending."""
+    if n <= 0:
+        raise ValueError(f"divisors of non-positive {n}")
+    small, large = [], []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            small.append(d)
+            if d != n // d:
+                large.append(n // d)
+        d += 1
+    return small + large[::-1]
+
+
+def near_divisor(n: int, target: int) -> int:
+    """The divisor of ``n`` closest to ``target`` (ties go larger)."""
+    best = 1
+    for d in divisors(n):
+        if abs(d - target) < abs(best - target) or (
+                abs(d - target) == abs(best - target) and d > best):
+            best = d
+    return best
+
+
+def tile_choices(size: int, unit: int = 1) -> List[int]:
+    """Divisors of ``size`` that are multiples of ``unit``.
+
+    These are the legal tile extents for a dimension whose innermost tile
+    (PE-array extent) is ``unit``; mappers draw tiling factors from this
+    set so every constructed tree is exactly divisible.
+    """
+    return [d for d in divisors(size) if d % unit == 0] or [size]
+
+
+def floor_divisor(n: int, cap: int) -> int:
+    """The largest divisor of ``n`` that is <= ``cap`` (at least 1).
+
+    Used for spatial splits: a dim may be spread over at most the number
+    of hardware instances available.
+    """
+    best = 1
+    for d in divisors(n):
+        if d <= cap and d > best:
+            best = d
+    return best
+
+
+def near_tile(size: int, unit: int, target: int) -> int:
+    """The tile in :func:`tile_choices`(size, unit) closest to ``target``."""
+    choices = tile_choices(size, unit)
+    return min(choices, key=lambda c: (abs(c - target), -c))
+
+
+def fit_rect(size_a: int, size_b: int, budget: int) -> Tuple[int, int]:
+    """Divisor pair (a of size_a, b of size_b) maximizing a*b <= budget.
+
+    Used to shape a 2-D spatial PE tile; ties prefer the more balanced
+    rectangle.
+    """
+    best = (1, 1)
+    best_key = (1, 0.0)
+    for a in divisors(size_a):
+        if a > budget:
+            break
+        b = floor_divisor(size_b, budget // a)
+        area = a * b
+        balance = -abs(a - b)
+        if (area, balance) > best_key:
+            best_key = (area, balance)
+            best = (a, b)
+    return best
+
+
+def check_divides(tile: int, size: int, what: str) -> None:
+    if size % tile:
+        raise MappingError(f"{what}: tile {tile} does not divide {size}")
+
+
+# ----------------------------------------------------------------------
+# Loop construction
+# ----------------------------------------------------------------------
+def leaf_loops(op: Operator, spatial_ext: Mapping[str, int],
+               temporal_ext: Mapping[str, int]) -> List[Loop]:
+    """Loops of an innermost compute tile: temporal outer, spatial inner."""
+    loops: List[Loop] = []
+    for d, n in temporal_ext.items():
+        if d not in op.dims:
+            raise MappingError(f"leaf temporal dim {d!r} not in {op.name!r}")
+        if n > 1:
+            loops.append(temporal(d, n, 1))
+    for d, n in spatial_ext.items():
+        if d not in op.dims:
+            raise MappingError(f"leaf spatial dim {d!r} not in {op.name!r}")
+        if n > 1:
+            loops.append(spatial(d, n, 1))
+    return loops
+
+
+def leaf_extent(spatial_ext: Mapping[str, int],
+                temporal_ext: Mapping[str, int], dim_name: str) -> int:
+    """Index-space extent one leaf execution covers along ``dim_name``."""
+    return (spatial_ext.get(dim_name, 1) * temporal_ext.get(dim_name, 1))
+
+
+def mid_loops(op: Operator, tile: Mapping[str, int],
+              spatial_ext: Mapping[str, int],
+              temporal_ext: Mapping[str, int],
+              order: Optional[Sequence[str]] = None,
+              allow_ceil: bool = False) -> List[Loop]:
+    """Loops iterating leaf tiles so the chain covers ``tile`` per dim.
+
+    ``tile`` gives the per-fusion-iteration extents the chain must cover
+    (dims absent default to the full operator dim).  With ``allow_ceil``
+    the count rounds up (over-coverage — the halo recompute of fused
+    convolutions); otherwise exact divisibility is required.
+    """
+    loops: List[Loop] = []
+    dims = list(order) if order is not None else list(op.dims)
+    for d in dims:
+        want = tile.get(d, op.dims[d])
+        leaf = leaf_extent(spatial_ext, temporal_ext, d)
+        if want % leaf and not allow_ceil:
+            raise MappingError(
+                f"{op.name!r}: tile {want} along {d!r} not a multiple of "
+                f"leaf extent {leaf}")
+        count = math.ceil(want / leaf)
+        if count > 1:
+            loops.append(temporal(d, count, leaf))
+    return loops
+
+
+def tiling_loops(sizes: Mapping[str, int], tile: Mapping[str, int],
+                 order: Sequence[str],
+                 spatial_dims: Mapping[str, int] = (),
+                 ) -> List[Loop]:
+    """Outer tiling loops over shared dims (fusion-node loops).
+
+    For each dim in ``order``: an optional spatial split into
+    ``spatial_dims[d]`` blocks (each block ``sizes[d] / splits`` wide)
+    followed by a temporal loop stepping by ``tile[d]``.  Loops with a
+    single iteration are omitted.
+    """
+    loops: List[Loop] = []
+    spatial_dims = dict(spatial_dims)
+    for d in order:
+        size = sizes[d]
+        split = spatial_dims.get(d, 1)
+        if split > 1:
+            check_divides(split, size, f"spatial split of {d!r}")
+            block = size // split
+            loops.append(spatial(d, split, block))
+            size = block
+        step = tile.get(d, size)
+        check_divides(step, size, f"tiling of {d!r}")
+        count = size // step
+        if count > 1:
+            loops.append(temporal(d, count, step))
+    return loops

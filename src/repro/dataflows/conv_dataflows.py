@@ -1,0 +1,367 @@
+"""Named convolution-chain dataflows (Table 5, conv section).
+
+* **Layerwise** — no fusion; each convolution maps to the whole machine
+  in turn and ``Act`` streams through DRAM.
+* **Fused-Layer** (Alwani et al.) — fuse the two convolutions with the
+  height and width dimensions tiled, alternating per tile on a shared
+  buffer (``Shar``); the producer recomputes a ``kernel - 1`` halo per
+  tile.  PEs parallelize over the tile's pixels (the original design's
+  2-D arrangement).
+* **ISOS** (ISOSceles) — fuse with only the width dimension tiled (the
+  paper runs the originally-sparse design on dense chains, where it fails
+  to provide speedup).
+* **TileFlow** — the mapper-discovered dataflow of §7.2: pipeline the two
+  convolutions with their channel dimensions tiled.  Each stage gets a
+  work-proportional share of the machine, tiles *all* dims (3-D
+  rows x columns x channels PE tiles), and overlaps with the other stage
+  under ``Pipe``.
+
+Convolution extents (110, 147, 225, ...) rarely factor nicely, so these
+templates use *imperfect* tiling throughout: loop counts round up and the
+final partial tile is padded — exactly what real mappers emit.  The
+producer chains additionally over-cover by the halo (recompute).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..arch import Architecture
+from ..errors import MappingError
+from ..ir import Operator, Workload
+from ..tile.bindings import Binding
+from ..tile.loops import Loop, spatial, temporal
+from ..tile.tree import AnalysisTree, FusionNode, OpTile, TileNode
+from .builders import floor_divisor, leaf_loops, mid_loops
+
+
+@dataclass(frozen=True)
+class ConvChainGeometry:
+    """Shape parameters extracted from a conv-chain workload."""
+
+    height: int        # intermediate (Act) rows, conv1's p extent
+    width: int
+    out_h: int         # output rows, conv2's p extent
+    out_w: int
+    c0: int
+    c1: int
+    c2: int
+    kernel: int
+
+    @staticmethod
+    def of(workload: Workload) -> "ConvChainGeometry":
+        c1op = workload.operator("conv1")
+        c2op = workload.operator("conv2")
+        return ConvChainGeometry(
+            height=c1op.dims["p"], width=c1op.dims["q"],
+            out_h=c2op.dims["p"], out_w=c2op.dims["q"],
+            c0=c1op.dims["c0"], c1=c1op.dims["c1"], c2=c2op.dims["c2"],
+            kernel=c1op.dims["r"])
+
+
+def _is_conv_chain(workload: Workload) -> bool:
+    names = {op.name for op in workload.operators}
+    return "conv1" in names and "conv2" in names
+
+
+def _cout(op: Operator) -> str:
+    return "c1" if op.name == "conv1" else "c2"
+
+
+def _cin(op: Operator) -> str:
+    return "c0" if op.name == "conv1" else "c1"
+
+
+def _window(op: Operator) -> Tuple[str, str]:
+    return ("r", "s") if op.name == "conv1" else ("u", "v")
+
+
+def _ceil(a: int, b: int) -> int:
+    return -(-a // b)
+
+
+class _ConvBuilder:
+    """Shared machinery for the convolution-chain templates."""
+
+    def __init__(self, workload: Workload, arch: Architecture,
+                 pipelined: bool = False):
+        if not _is_conv_chain(workload):
+            raise MappingError(
+                f"workload {workload.name!r} is not a convolution chain")
+        self.workload = workload
+        self.arch = arch
+        self.geom = ConvChainGeometry.of(workload)
+        self.top_level = arch.num_levels - 2
+        self.cores = arch.level(self.top_level).fanout
+        self.sub_cores = (arch.level(1).fanout // self.cores
+                          if self.top_level > 1 else 1)
+        self.unit_budget = max(4, arch.pe_count // arch.level(1).fanout)
+        w1 = workload.operator("conv1").total_ops
+        w2 = workload.operator("conv2").total_ops
+        self.shares = {"conv1": w1 / (w1 + w2), "conv2": w2 / (w1 + w2)}
+        self.pipelined = pipelined
+
+    # ------------------------------------------------------------------
+    def pixel_chain(self, op: Operator, tile: Mapping[str, int],
+                    budget: Optional[int] = None,
+                    inner_spatial: Optional[Tuple[str, int, int]] = None
+                    ) -> OpTile:
+        """Chain with a 2-D (rows x columns) PE tile, imperfect tiling."""
+        budget = budget if budget is not None else self.unit_budget
+        p_ref = min(tile.get("p", op.dims["p"]), op.dims["p"])
+        q_ref = min(tile.get("q", op.dims["q"]), op.dims["q"])
+        ps = min(p_ref, max(2, int(math.sqrt(budget))))
+        qs = min(q_ref, max(2, budget // ps))
+        sp = {"p": ps, "q": qs}
+        return self._chain(op, tile, sp, inner_spatial)
+
+    def channel_chain(self, op: Operator, tile: Mapping[str, int],
+                      budget: Optional[int] = None,
+                      inner_spatial: Optional[Tuple[str, int, int]] = None
+                      ) -> OpTile:
+        """Chain with a 3-D (rows x columns x channels) PE tile."""
+        budget = budget if budget is not None else self.unit_budget
+        cdim = _cout(op)
+        c_ref = min(tile.get(cdim, op.dims[cdim]), op.dims[cdim])
+        cs = floor_divisor(c_ref, max(2, budget // 16))
+        rest = max(1, budget // cs)
+        p_ref = min(tile.get("p", op.dims["p"]), op.dims["p"])
+        q_ref = min(tile.get("q", op.dims["q"]), op.dims["q"])
+        ps = min(p_ref, max(1, int(math.sqrt(rest))))
+        qs = min(q_ref, max(1, rest // ps))
+        sp = {"p": ps, "q": qs, cdim: cs}
+        return self._chain(op, tile, sp, inner_spatial)
+
+    def _chain(self, op: Operator, tile: Mapping[str, int],
+               sp: Dict[str, int],
+               inner_spatial: Optional[Tuple[str, int, int]]) -> OpTile:
+        win = _window(op)
+        tp = {win[0]: self.geom.kernel, win[1]: self.geom.kernel,
+              _cin(op): op.dims[_cin(op)]}
+        leaf = OpTile(op, leaf_loops(op, sp, tp), level=0)
+        loops = mid_loops(op, tile, sp, tp, allow_ceil=True)
+        if inner_spatial is not None and inner_spatial[0] in op.dims:
+            d, count, step = inner_spatial
+            if count > 1:
+                loops = [spatial(d, count, step)] + loops
+        return OpTile(op, loops, level=1, child=leaf)
+
+    def producer_tile(self, consumer_tile: Mapping[str, int]
+                      ) -> Dict[str, int]:
+        """conv1's per-iteration extents for a conv2 tile (adds the halo)."""
+        halo = self.geom.kernel - 1
+        tile = dict(consumer_tile)
+        if "p" in tile:
+            tile["p"] = tile["p"] + halo
+        if "q" in tile:
+            tile["q"] = tile["q"] + halo
+        tile.pop("c2", None)
+        return tile
+
+    def outer_loops(self, tile: Mapping[str, int],
+                    spatial_dim: Optional[str]) -> List[Loop]:
+        """Fusion-node loops tiling conv2's output space (imperfect)."""
+        sizes = {"p": self.geom.out_h, "q": self.geom.out_w}
+        loops: List[Loop] = []
+        for d in ("p", "q"):
+            if d not in tile:
+                continue
+            size = sizes[d]
+            step = tile[d]
+            blocks = _ceil(size, step)
+            if d == spatial_dim and blocks > 1:
+                split = min(self.cores, blocks)
+                per = _ceil(blocks, split)
+                loops.append(spatial(d, split, per * step))
+                blocks = per
+            if blocks > 1:
+                loops.append(temporal(d, blocks, step))
+        return loops
+
+
+# ----------------------------------------------------------------------
+# Templates
+# ----------------------------------------------------------------------
+def conv_layerwise(workload: Workload, arch: Architecture,
+                   factors: Mapping[str, int] = ()) -> AnalysisTree:
+    """No fusion: each convolution mapped to hardware in turn."""
+    factors = dict(factors)
+    b = _ConvBuilder(workload, arch)
+    chains: List[TileNode] = []
+    for op in workload.operators:
+        p_sz, q_sz = op.dims["p"], op.dims["q"]
+        tile = {"p": min(p_sz, factors.get("p_tile", _ceil(p_sz, 8))),
+                "q": min(q_sz, factors.get("q_tile", _ceil(q_sz, 2)))}
+        inner = None
+        if b.sub_cores > 1:
+            cdim = _cout(op)
+            split = floor_divisor(op.dims[cdim], b.sub_cores)
+            if split > 1:
+                tile[cdim] = op.dims[cdim] // split
+                inner = (cdim, split, tile[cdim])
+        chain = b.pixel_chain(op, tile, inner_spatial=inner)
+        top_loops: List[Loop] = []
+        for d, size in (("p", p_sz), ("q", q_sz)):
+            blocks = _ceil(size, tile[d])
+            if d == "p" and blocks > 1:
+                split = min(b.cores, blocks)
+                per = _ceil(blocks, split)
+                top_loops.append(spatial(d, split, per * tile[d]))
+                blocks = per
+            if blocks > 1:
+                top_loops.append(temporal(d, blocks, tile[d]))
+        chains.append(OpTile(op, top_loops, level=b.top_level, child=chain))
+    root = FusionNode([], level=arch.dram_index, children=chains,
+                      binding=Binding.SEQ, name="conv-layerwise")
+    return AnalysisTree(workload, root,
+                        name=f"conv_layerwise[{workload.name}]")
+
+
+def fused_layer(workload: Workload, arch: Architecture,
+                factors: Mapping[str, int] = ()) -> AnalysisTree:
+    """Fused-Layer: fuse both convs with height and width tiled."""
+    factors = dict(factors)
+    b = _ConvBuilder(workload, arch)
+    g = b.geom
+    tile = {"p": min(g.out_h, factors.get("p_tile", _ceil(g.out_h, 8))),
+            "q": min(g.out_w, factors.get("q_tile", _ceil(g.out_w, 2)))}
+    children = []
+    for op, op_tile in ((workload.operator("conv1"), b.producer_tile(tile)),
+                        (workload.operator("conv2"), dict(tile))):
+        inner = None
+        if b.sub_cores > 1:
+            cdim = _cout(op)
+            split = floor_divisor(op.dims[cdim], b.sub_cores)
+            if split > 1:
+                op_tile[cdim] = op.dims[cdim] // split
+                inner = (cdim, split, op_tile[cdim])
+        children.append(b.pixel_chain(op, op_tile, inner_spatial=inner))
+    root = FusionNode(b.outer_loops(tile, spatial_dim="p"),
+                      level=b.top_level, children=children,
+                      binding=Binding.SHAR, name="fused_layer")
+    return AnalysisTree(workload, root,
+                        name=f"fused_layer[{workload.name}]")
+
+
+def isos(workload: Workload, arch: Architecture,
+         factors: Mapping[str, int] = ()) -> AnalysisTree:
+    """ISOS: fuse both convs with only the width dimension tiled."""
+    factors = dict(factors)
+    b = _ConvBuilder(workload, arch)
+    g = b.geom
+    tile = {"q": min(g.out_w, factors.get("q_tile", _ceil(g.out_w, 8)))}
+    children = []
+    for op, op_tile in ((workload.operator("conv1"), b.producer_tile(tile)),
+                        (workload.operator("conv2"), dict(tile))):
+        inner = None
+        if b.sub_cores > 1:
+            cdim = _cout(op)
+            split = floor_divisor(op.dims[cdim], b.sub_cores)
+            if split > 1:
+                op_tile = dict(op_tile)
+                op_tile[cdim] = op.dims[cdim] // split
+                inner = (cdim, split, op_tile[cdim])
+        children.append(b.pixel_chain(op, op_tile, inner_spatial=inner))
+    root = FusionNode(b.outer_loops(tile, spatial_dim="q"),
+                      level=b.top_level, children=children,
+                      binding=Binding.SHAR, name="isos")
+    return AnalysisTree(workload, root, name=f"isos[{workload.name}]")
+
+
+def conv_tileflow(workload: Workload, arch: Architecture,
+                  factors: Mapping[str, int] = ()) -> AnalysisTree:
+    """TileFlow's conv dataflow: pipeline both convs, all dims tiled.
+
+    Each stage takes a work-proportional share of the machine (a PE share
+    of each core on single-level machines, a sub-core share otherwise),
+    uses a 3-D rows x columns x channels PE tile, and spreads channel
+    blocks over its sub-cores.  The two stages overlap under ``Pipe``.
+    """
+    factors = dict(factors)
+    b = _ConvBuilder(workload, arch, pipelined=True)
+    g = b.geom
+    tile = {"p": min(g.out_h, factors.get("p_tile", _ceil(g.out_h, 8))),
+            "q": min(g.out_w, factors.get("q_tile", _ceil(g.out_w, 2))),
+            "c1": min(g.c1, factors.get("c1_tile", max(1, g.c1 // 2)))}
+
+    children = []
+    for op, halo in ((workload.operator("conv1"), True),
+                     (workload.operator("conv2"), False)):
+        share = b.shares[op.name]
+        op_tile = b.producer_tile(tile) if halo else dict(tile)
+        if op.name == "conv2":
+            op_tile.pop("c1", None)  # c1 is conv2's reduction; leaf sweeps it
+        if b.sub_cores > 1:
+            units = max(1, round(b.sub_cores * share))
+            budget = b.unit_budget
+        else:
+            units = 1
+            budget = max(4, int(b.unit_budget * share))
+        inner = None
+        cdim = _cout(op)
+        avail = op_tile.get(cdim, op.dims[cdim])
+        split = floor_divisor(avail, units) if units > 1 else 1
+        if split > 1:
+            op_tile[cdim] = avail // split
+            inner = (cdim, split, op_tile[cdim])
+        children.append(b.channel_chain(op, op_tile, budget=budget,
+                                        inner_spatial=inner))
+
+    loops = b.outer_loops(tile, spatial_dim="p")
+    c1_blocks = _ceil(g.c1, tile["c1"])
+    if c1_blocks > 1:
+        loops.append(temporal("c1", c1_blocks, tile["c1"]))
+    root = FusionNode(loops, level=b.top_level, children=children,
+                      binding=Binding.PIPE, name="conv_tileflow")
+    return AnalysisTree(workload, root,
+                        name=f"conv_tileflow[{workload.name}]")
+
+
+# ----------------------------------------------------------------------
+CONV_DATAFLOWS: Dict[str, Callable[..., AnalysisTree]] = {
+    "layerwise": conv_layerwise,
+    "fused_layer": fused_layer,
+    "isos": isos,
+    "tileflow": conv_tileflow,
+}
+
+
+def conv_dataflow(name: str, workload: Workload, arch: Architecture,
+                  factors: Mapping[str, int] = ()) -> AnalysisTree:
+    """Build a named conv-chain dataflow ("layerwise", "fused_layer", ...)."""
+    try:
+        template = CONV_DATAFLOWS[name]
+    except KeyError:
+        raise MappingError(
+            f"unknown conv dataflow {name!r}; choose from "
+            f"{sorted(CONV_DATAFLOWS)}") from None
+    return template(workload, arch, factors)
+
+
+def conv_factor_space(name: str, workload: Workload) -> Dict[str, List[int]]:
+    """Legal tiling-factor choices for a named conv template.
+
+    Tiling is imperfect (partial tiles are padded), so any tile size up
+    to the extent is legal; the spaces enumerate a log-spaced ladder.
+    """
+    g = ConvChainGeometry.of(workload)
+
+    def ladder(size: int) -> List[int]:
+        out, v = [], 1
+        while v < size:
+            out.append(v)
+            v *= 2
+        out.append(size)
+        return out
+
+    space: Dict[str, List[int]] = {}
+    if name in ("layerwise", "fused_layer", "tileflow"):
+        space["p_tile"] = ladder(g.out_h)
+        space["q_tile"] = ladder(g.out_w)
+    if name == "isos":
+        space["q_tile"] = ladder(g.out_w)
+    if name == "tileflow":
+        space["c1_tile"] = ladder(g.c1)
+    return space

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the TileFlow reproduction.
+
+All errors raised by the library derive from :class:`TileFlowError` so that
+callers can catch library failures with a single ``except`` clause while
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class TileFlowError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class WorkloadError(TileFlowError):
+    """Raised for malformed workloads (bad dims, dangling tensors, cycles)."""
+
+
+class NotationError(TileFlowError):
+    """Raised when a tile-centric notation string cannot be parsed."""
+
+
+class TreeValidationError(TileFlowError):
+    """Raised when an analysis tree violates a structural rule.
+
+    Examples: memory levels increasing toward the leaves, a loop referencing
+    an unknown dimension, or a fused producer placed after its consumer.
+    """
+
+
+class ArchitectureError(TileFlowError):
+    """Raised for inconsistent architecture specifications."""
+
+
+class ResourceExceededError(TileFlowError):
+    """Raised (or recorded) when a mapping exceeds memory capacity or PEs.
+
+    The analysis normally *records* violations in the result so mappers can
+    penalize them; strict evaluation raises this error instead.
+    """
+
+    def __init__(self, message: str, level: str = "", required: float = 0.0,
+                 available: float = 0.0):
+        super().__init__(message)
+        self.level = level
+        self.required = required
+        self.available = available
+
+
+class MappingError(TileFlowError):
+    """Raised when a mapper encoding cannot be decoded into a valid tree."""
+
+
+class SimulationError(TileFlowError):
+    """Raised when the cycle-approximate simulator receives a bad program."""

@@ -1,0 +1,7 @@
+"""Experiment harness: one module per paper table/figure (see DESIGN.md)."""
+
+from . import (ablation, comparison, energy_breakdown, exploration, gpu,
+               report, sensitivity, validation)
+
+__all__ = ["validation", "exploration", "comparison", "energy_breakdown",
+           "sensitivity", "gpu", "ablation", "report"]

@@ -1,0 +1,85 @@
+"""Shared reporting utilities for the experiment harness.
+
+Every experiment returns plain data (lists/dicts of rows) plus a
+``format_*`` helper producing the textual table/series the corresponding
+paper figure reports.  These helpers keep that uniform.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def geomean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (0 if empty)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def normalize(values: Mapping[str, float],
+              reference: Optional[str] = None) -> Dict[str, float]:
+    """Values divided by a reference entry (first key if unspecified)."""
+    keys = list(values)
+    if not keys:
+        return {}
+    ref = values[reference if reference is not None else keys[0]]
+    if ref == 0:
+        return {k: 0.0 for k in keys}
+    return {k: values[k] / ref for k in keys}
+
+
+def r_squared(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Coefficient of determination of ``ys`` against ``xs`` (y = x fit).
+
+    Matches the paper's Fig. 8a usage: how well the model's predictions
+    track the reference along the identity line after a least-squares
+    linear fit.
+    """
+    n = len(xs)
+    if n < 2 or len(ys) != n:
+        raise ValueError("need two equal-length series")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    if var_x == 0 or var_y == 0:
+        return 1.0 if var_x == var_y else 0.0
+    return (cov * cov) / (var_x * var_y)
+
+
+def mean_abs_error(reference: Sequence[float],
+                   predicted: Sequence[float]) -> float:
+    """Mean absolute relative error of predictions vs a reference."""
+    if len(reference) != len(predicted) or not reference:
+        raise ValueError("need two equal-length non-empty series")
+    total = 0.0
+    for ref, pred in zip(reference, predicted):
+        if ref == 0:
+            continue
+        total += abs(pred - ref) / abs(ref)
+    return total / len(reference)
+
+
+def format_table(title: str, header: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width text table (the bench harness prints these)."""
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title,
+             "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+             "  ".join("-" * w for w in widths)]
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

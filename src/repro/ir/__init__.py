@@ -1,0 +1,18 @@
+"""Workload intermediate representation.
+
+The IR describes DNN workloads as DAGs of dense operators with affine tensor
+accesses over named iteration dimensions.  See :mod:`repro.workloads` for
+ready-made builders (self-attention, convolution chains, matmul).
+"""
+
+from .expr import AffineExpr, const, dim, exprs, union_dims
+from .operator import Operator, TensorAccess, simple_access
+from .tensor import DEFAULT_WORD_BYTES, Tensor
+from .workload import Workload
+
+__all__ = [
+    "AffineExpr", "const", "dim", "exprs", "union_dims",
+    "Operator", "TensorAccess", "simple_access",
+    "DEFAULT_WORD_BYTES", "Tensor",
+    "Workload",
+]

@@ -1,0 +1,78 @@
+"""Tensors in the workload IR.
+
+A :class:`Tensor` is a named, shaped multi-dimensional array of fixed-width
+words.  Tensors carry no data — the model is analytical — but their shapes
+and word widths drive footprint and data-movement volume computations.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..errors import WorkloadError
+
+#: Default word width in bytes (the paper's accelerator uses 16-bit words).
+DEFAULT_WORD_BYTES = 2
+
+
+class Tensor:
+    """A named dense tensor.
+
+    Parameters
+    ----------
+    name:
+        Unique name within a workload.
+    shape:
+        Extent of each dimension; all extents must be positive.
+    word_bytes:
+        Bytes per element, used to convert element counts to bytes when
+        checking buffer capacities and computing bandwidth-limited latency.
+    """
+
+    __slots__ = ("name", "shape", "word_bytes")
+
+    def __init__(self, name: str, shape: Tuple[int, ...],
+                 word_bytes: int = DEFAULT_WORD_BYTES):
+        if not name:
+            raise WorkloadError("tensor name must be non-empty")
+        shape = tuple(int(s) for s in shape)
+        if not shape or any(s <= 0 for s in shape):
+            raise WorkloadError(
+                f"tensor {name!r} must have positive extents, got {shape}")
+        if word_bytes <= 0:
+            raise WorkloadError(
+                f"tensor {name!r} word_bytes must be positive, got {word_bytes}")
+        self.name = name
+        self.shape = shape
+        self.word_bytes = int(word_bytes)
+
+    @property
+    def rank(self) -> int:
+        """Number of dimensions."""
+        return len(self.shape)
+
+    @property
+    def volume(self) -> int:
+        """Total number of elements."""
+        n = 1
+        for s in self.shape:
+            n *= s
+        return n
+
+    @property
+    def bytes(self) -> int:
+        """Total size in bytes."""
+        return self.volume * self.word_bytes
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Tensor)
+                and self.name == other.name
+                and self.shape == other.shape
+                and self.word_bytes == other.word_bytes)
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.shape, self.word_bytes))
+
+    def __repr__(self) -> str:
+        dims = "x".join(str(s) for s in self.shape)
+        return f"Tensor({self.name}: {dims})"

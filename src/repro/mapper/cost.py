@@ -1,0 +1,37 @@
+"""Cost functions turning model evaluations into scalar search objectives."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..analysis import EvaluationResult
+
+Cost = float
+INFEASIBLE = float("inf")
+
+
+def latency_cost(result: EvaluationResult,
+                 respect_memory: bool = True) -> Cost:
+    """Latency in cycles; infeasible mappings cost infinity.
+
+    ``respect_memory=False`` ignores capacity/fanout violations — the
+    Table 7 "No Memory Limit" scenario — while still rejecting compute
+    over-subscription.
+    """
+    if result.violations:
+        if respect_memory:
+            return INFEASIBLE
+        compute_violations = [v for v in result.violations
+                              if v.startswith("compute")]
+        if compute_violations:
+            return INFEASIBLE
+    return result.latency_cycles
+
+
+def edp_cost(result: EvaluationResult,
+             respect_memory: bool = True) -> Cost:
+    """Energy-delay product objective (optional alternative)."""
+    base = latency_cost(result, respect_memory)
+    if base == INFEASIBLE:
+        return INFEASIBLE
+    return base * result.energy_pj

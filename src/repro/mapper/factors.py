@@ -1,0 +1,81 @@
+"""Tiling-factor utilities shared by the mapper and the baselines."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from ..dataflows.builders import divisors, floor_divisor, near_divisor
+
+
+def factorizations(n: int, parts: int) -> Iterator[Tuple[int, ...]]:
+    """All ordered factorizations of ``n`` into ``parts`` positive factors.
+
+    Used by the polyhedron baseline to enumerate perfect tilings of a loop
+    over the memory levels (the Fig. 8a experiment enumerates 1152 matmul
+    mappings this way).
+    """
+    if parts <= 0:
+        raise ValueError("parts must be positive")
+    if parts == 1:
+        yield (n,)
+        return
+    for d in divisors(n):
+        for rest in factorizations(n // d, parts - 1):
+            yield (d,) + rest
+
+
+def count_factorizations(n: int, parts: int) -> int:
+    """Number of ordered factorizations (size of a perfect tiling space)."""
+    return sum(1 for _ in factorizations(n, parts))
+
+
+class FactorSpace:
+    """A named, finite space of tiling-factor choices.
+
+    Wraps ``{factor name: [choices]}`` with deterministic ordering, point
+    indexing, and neighborhood enumeration — the substrate both the MCTS
+    and the random-search baseline operate on.
+    """
+
+    def __init__(self, choices: Dict[str, Sequence[int]]):
+        self.names: List[str] = sorted(choices)
+        self.choices: Dict[str, List[int]] = {
+            name: list(choices[name]) for name in self.names}
+        for name, values in self.choices.items():
+            if not values:
+                raise ValueError(f"factor {name!r} has no choices")
+
+    @property
+    def size(self) -> int:
+        n = 1
+        for values in self.choices.values():
+            n *= len(values)
+        return n
+
+    def default_point(self) -> Dict[str, int]:
+        """Middle-of-the-road assignment (median choice per factor)."""
+        return {name: values[len(values) // 2]
+                for name, values in self.choices.items()}
+
+    def point_at(self, indices: Sequence[int]) -> Dict[str, int]:
+        return {name: self.choices[name][i]
+                for name, i in zip(self.names, indices)}
+
+    def random_point(self, rng) -> Dict[str, int]:
+        return {name: rng.choice(values)
+                for name, values in self.choices.items()}
+
+    def neighbors(self, point: Dict[str, int]) -> Iterator[Dict[str, int]]:
+        """Points differing by one step in one factor."""
+        for name in self.names:
+            values = self.choices[name]
+            idx = values.index(point[name])
+            for j in (idx - 1, idx + 1):
+                if 0 <= j < len(values):
+                    neighbor = dict(point)
+                    neighbor[name] = values[j]
+                    yield neighbor
+
+    def __repr__(self) -> str:
+        dims = ", ".join(f"{n}:{len(v)}" for n, v in self.choices.items())
+        return f"FactorSpace({dims}; size={self.size})"

@@ -1,0 +1,99 @@
+"""Genetic exploration of the ordering/binding plane (§6).
+
+The GA maintains a population of :class:`~repro.mapper.encoding.Genome`
+candidates (compute ordering + resource binding).  Each generation, every
+genome's tiling factors are tuned by a small MCTS run (§6, Fig. 7c), the
+resulting cost is the genome's fitness, the top-K genomes survive, and
+offspring are produced by single-point crossover plus mutation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..arch import Architecture
+from ..ir import Workload
+from .cost import INFEASIBLE, Cost
+from .encoding import Genome, build_genome_tree, genome_factor_space
+from .mcts import MCTSTuner
+
+TreeEvaluator = Callable[["Genome", Dict[str, int]], Cost]
+
+
+@dataclass
+class GenerationStats:
+    """Best/mean fitness of one GA generation (Fig. 9b/9c traces)."""
+
+    generation: int
+    best_cost: Cost
+    mean_cost: Cost
+    best_genome: Genome
+    best_factors: Dict[str, int] = field(default_factory=dict)
+
+
+class GeneticExplorer:
+    """GA over genomes with per-candidate MCTS factor tuning."""
+
+    def __init__(self, workload: Workload,
+                 evaluate: TreeEvaluator,
+                 population: int = 12, survivors: int = 4,
+                 mcts_samples: int = 40, mutation_rate: float = 0.25,
+                 seed: int = 0):
+        if survivors < 1 or survivors > population:
+            raise ValueError("survivors must be in [1, population]")
+        self.workload = workload
+        self.evaluate = evaluate
+        self.population_size = population
+        self.survivors = survivors
+        self.mcts_samples = mcts_samples
+        self.mutation_rate = mutation_rate
+        self.rng = random.Random(seed)
+        self.stats: List[GenerationStats] = []
+        self.best: Optional[Tuple[Cost, Genome, Dict[str, int]]] = None
+
+    # ------------------------------------------------------------------
+    def _initial_population(self) -> List[Genome]:
+        seeds = [Genome.unfused(self.workload),
+                 Genome.fully_fused(self.workload)]
+        while len(seeds) < self.population_size:
+            seeds.append(Genome.random(self.workload, self.rng))
+        return seeds[:self.population_size]
+
+    def _fitness(self, genome: Genome) -> Tuple[Cost, Dict[str, int]]:
+        space = genome_factor_space(self.workload, genome)
+        tuner = MCTSTuner(space,
+                          lambda point: self.evaluate(genome, point),
+                          seed=self.rng.randrange(1 << 30))
+        point, cost = tuner.search(self.mcts_samples)
+        return cost, (point or {})
+
+    # ------------------------------------------------------------------
+    def run(self, generations: int) -> Tuple[Genome, Dict[str, int], Cost]:
+        """Evolve for ``generations``; returns the champion found."""
+        population = self._initial_population()
+        for gen in range(generations):
+            scored: List[Tuple[Cost, Genome, Dict[str, int]]] = []
+            for genome in population:
+                cost, factors = self._fitness(genome)
+                scored.append((cost, genome, factors))
+                if self.best is None or cost < self.best[0]:
+                    self.best = (cost, genome, factors)
+            scored.sort(key=lambda item: item[0])
+            finite = [c for c, _, _ in scored if c != INFEASIBLE]
+            mean = (sum(finite) / len(finite)) if finite else INFEASIBLE
+            self.stats.append(GenerationStats(
+                generation=gen, best_cost=scored[0][0], mean_cost=mean,
+                best_genome=scored[0][1], best_factors=scored[0][2]))
+            parents = [g for _, g, _ in scored[:self.survivors]]
+            population = list(parents)
+            while len(population) < self.population_size:
+                mother = self.rng.choice(parents)
+                father = self.rng.choice(parents)
+                child = mother.crossover(father, self.rng)
+                population.append(child.mutate(self.rng,
+                                               self.mutation_rate))
+        assert self.best is not None
+        cost, genome, factors = self.best
+        return genome, factors, cost

@@ -1,0 +1,118 @@
+"""The TileFlow mapper: GA over trees + MCTS over tiling factors (§6).
+
+Two entry points:
+
+* :class:`TileFlowMapper` — full 3D-space exploration: a genetic algorithm
+  proposes ordering/binding genomes, MCTS tunes each genome's tiling
+  factors, and the TileFlow model scores every complete mapping
+  (Fig. 9b/9c).
+* :func:`tune_template` — tiling-factor-only tuning of a *named* dataflow
+  template (Fig. 9a and the fair-comparison protocol of §7.3, which tunes
+  every baseline dataflow's factors with the same mapper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..analysis import EvaluationResult, TileFlowModel
+from ..arch import Architecture
+from ..ir import Workload
+from ..tile.tree import AnalysisTree
+from .cost import INFEASIBLE, Cost, latency_cost
+from .encoding import Genome, build_genome_tree
+from .factors import FactorSpace
+from .genetic import GenerationStats, GeneticExplorer
+from .mcts import MCTSTuner
+
+TemplateFn = Callable[..., AnalysisTree]
+
+
+@dataclass
+class MapperResult:
+    """Outcome of an exploration run."""
+
+    best_tree: AnalysisTree
+    best_result: EvaluationResult
+    best_cost: Cost
+    best_factors: Dict[str, int]
+    #: Best-so-far cost per GA generation or per MCTS sample.
+    trace: List[Cost] = field(default_factory=list)
+    best_genome: Optional[Genome] = None
+
+    def normalized_trace(self) -> List[float]:
+        """Trace normalized so the final (best) value is 1 (Fig. 9)."""
+        finite = [c for c in self.trace if c != INFEASIBLE]
+        if not finite:
+            return [0.0 for _ in self.trace]
+        best = min(finite)
+        return [best / c if c != INFEASIBLE and c > 0 else 0.0
+                for c in self.trace]
+
+
+class TileFlowMapper:
+    """Full 3D design-space exploration for one workload/architecture."""
+
+    def __init__(self, workload: Workload, arch: Architecture,
+                 respect_memory: bool = True, seed: int = 0):
+        self.workload = workload
+        self.arch = arch
+        self.model = TileFlowModel(arch)
+        self.respect_memory = respect_memory
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def _evaluate_genome(self, genome: Genome,
+                         factors: Dict[str, int]) -> Cost:
+        tree = build_genome_tree(self.workload, self.arch, genome, factors)
+        result = self.model.evaluate(tree)
+        return latency_cost(result, self.respect_memory)
+
+    def explore(self, generations: int = 8, population: int = 12,
+                mcts_samples: int = 30) -> MapperResult:
+        """Run the combined GA+MCTS search (§6)."""
+        explorer = GeneticExplorer(
+            self.workload, self._evaluate_genome,
+            population=population, mcts_samples=mcts_samples,
+            seed=self.seed)
+        genome, factors, cost = explorer.run(generations)
+        tree = build_genome_tree(self.workload, self.arch, genome, factors)
+        result = self.model.evaluate(tree)
+        return MapperResult(
+            best_tree=tree, best_result=result, best_cost=cost,
+            best_factors=factors,
+            trace=[s.best_cost for s in explorer.stats],
+            best_genome=genome)
+
+
+def tune_template(template: TemplateFn, space: Mapping[str, List[int]],
+                  workload: Workload, arch: Architecture,
+                  samples: int = 100, respect_memory: bool = True,
+                  seed: int = 0) -> MapperResult:
+    """Tune a named dataflow template's tiling factors with MCTS.
+
+    This is the §7.3 fair-comparison protocol: every dataflow (FLAT,
+    Chimera, Fused-Layer, ...) gets its tiling factors chosen by
+    TileFlow's own mapper before dataflows are compared.
+    """
+    model = TileFlowModel(arch)
+    cache: Dict[Tuple[Tuple[str, int], ...], EvaluationResult] = {}
+
+    def evaluate(point: Dict[str, int]) -> Cost:
+        key = tuple(sorted(point.items()))
+        result = cache.get(key)
+        if result is None:
+            tree = template(workload, arch, point)
+            result = model.evaluate(tree)
+            cache[key] = result
+        return latency_cost(result, respect_memory)
+
+    factor_space = FactorSpace({k: list(v) for k, v in space.items()})
+    tuner = MCTSTuner(factor_space, evaluate, seed=seed)
+    point, cost = tuner.search(samples)
+    factors = point or factor_space.default_point()
+    tree = template(workload, arch, factors)
+    result = model.evaluate(tree)
+    return MapperResult(best_tree=tree, best_result=result, best_cost=cost,
+                        best_factors=factors, trace=list(tuner.history))

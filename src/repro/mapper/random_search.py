@@ -1,0 +1,36 @@
+"""Random-search baseline for factor tuning (sanity yardstick for MCTS)."""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .factors import FactorSpace
+from .mcts import Cost, Evaluator, FAILURE_COST
+
+
+class RandomSearch:
+    """Uniform random sampling of a :class:`FactorSpace`."""
+
+    def __init__(self, space: FactorSpace, evaluator: Evaluator,
+                 seed: int = 0):
+        self.space = space
+        self.evaluator = evaluator
+        self.rng = random.Random(seed)
+        self.best_point: Optional[Dict[str, int]] = None
+        self.best_cost: Cost = FAILURE_COST
+        self.history: List[Cost] = []
+
+    def search(self, samples: int) -> Tuple[Optional[Dict[str, int]], Cost]:
+        for _ in range(max(1, samples)):
+            point = (self.space.random_point(self.rng)
+                     if self.space.names else {})
+            try:
+                cost = float(self.evaluator(point))
+            except Exception:
+                cost = FAILURE_COST
+            if cost < self.best_cost:
+                self.best_cost = cost
+                self.best_point = point
+            self.history.append(self.best_cost)
+        return self.best_point, self.best_cost

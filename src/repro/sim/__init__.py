@@ -1,0 +1,11 @@
+"""Cycle-approximate simulated accelerator (the paper's RTL substitute)."""
+
+from .accelerator import (ARRAY_FILL_CYCLES, DRAM_BURST_BYTES,
+                          SimulatedAccelerator, SimulationReport)
+from .program import TilePhase, lower
+
+__all__ = [
+    "SimulatedAccelerator", "SimulationReport",
+    "ARRAY_FILL_CYCLES", "DRAM_BURST_BYTES",
+    "TilePhase", "lower",
+]

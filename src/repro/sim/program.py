@@ -1,0 +1,91 @@
+"""Lowering analysis trees to tile programs.
+
+The RTL accelerator of §7.1 executes matrix / vector / load / store
+instructions.  :func:`lower` walks an analysis tree and emits the
+corresponding tile program: a nested structure of phases, each with the
+per-iteration load/store bytes and the compute instruction it issues.
+The cycle-approximate simulator consumes this structure, and the
+instruction summary doubles as the "compiled binary" statistics the
+examples print.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..analysis import DataMovementResult
+from ..arch import Architecture
+from ..ir import Workload
+from ..tile.bindings import Binding
+from ..tile.tree import AnalysisTree, FusionNode, OpTile, TileNode
+
+
+@dataclass
+class TilePhase:
+    """One node of the lowered program."""
+
+    label: str
+    level: int
+    temporal_trips: int
+    spatial_trips: int
+    load_bytes_per_iter: float
+    store_bytes_per_iter: float
+    binding: Optional[Binding]
+    compute_kind: Optional[str]        # set on leaves
+    compute_lanes: int = 1
+    compute_cycles_per_iter: float = 0.0
+    children: List["TilePhase"] = field(default_factory=list)
+
+    def instruction_counts(self) -> Dict[str, int]:
+        """Total instruction counts for one execution of this phase."""
+        counts = {"matrix": 0, "vector": 0, "load": 0, "store": 0}
+        if self.compute_kind is not None:
+            key = "matrix" if self.compute_kind == "mac" else "vector"
+            counts[key] += self.temporal_trips
+        if self.load_bytes_per_iter > 0:
+            counts["load"] += self.temporal_trips
+        if self.store_bytes_per_iter > 0:
+            counts["store"] += self.temporal_trips
+        for child in self.children:
+            for k, v in child.instruction_counts().items():
+                counts[k] += v * self.temporal_trips
+        return counts
+
+
+def lower(tree: AnalysisTree, arch: Architecture,
+          movement: DataMovementResult) -> TilePhase:
+    """Lower a tree (with its analyzed flows) into a tile program."""
+    word_bytes = {t.name: t.word_bytes for t in tree.workload.tensors()}
+
+    def bytes_of(words_by_tensor: Dict[str, float]) -> float:
+        return sum(w * word_bytes[t] for t, w in words_by_tensor.items())
+
+    def executions(node: TileNode) -> float:
+        n = 1.0
+        for a in node.ancestors():
+            n *= a.trip_count
+        return max(1.0, n)
+
+    def visit(node: TileNode) -> TilePhase:
+        flows = movement.flows(node)
+        execs = executions(node)
+        trips = max(1, node.temporal_trip_count)
+        phase = TilePhase(
+            label=node.label(),
+            level=node.level,
+            temporal_trips=trips,
+            spatial_trips=max(1, node.spatial_trip_count),
+            load_bytes_per_iter=bytes_of(flows.fills) / (execs * trips),
+            store_bytes_per_iter=bytes_of(flows.updates) / (execs * trips),
+            binding=(node.binding if isinstance(node, FusionNode) else None),
+            compute_kind=(node.op.kind if node.is_leaf()
+                          and isinstance(node, OpTile) else None),
+        )
+        if node.is_leaf() and isinstance(node, OpTile):
+            phase.compute_lanes = node.spatial_trip_count
+            phase.compute_cycles_per_iter = node.op.ops_per_point
+        phase.children = [visit(c) for c in node.children_nodes()]
+        return phase
+
+    return visit(tree.root)

@@ -1,0 +1,19 @@
+"""Tile-centric notation: loops, bindings, analysis trees, validation."""
+
+from .bindings import PARA, PIPE, SEQ, SHAR, Binding, parse_binding
+from .coverage import apply_loops, op_coverage_below
+from .loops import (Loop, auto_steps, product_of_counts, spatial,
+                    split_spatial, temporal)
+from .notation import parse_notation, render_notation
+from .tree import AnalysisTree, FusionNode, OpTile, TileNode
+from .validate import check_tree, validate_tree
+
+__all__ = [
+    "Binding", "SEQ", "SHAR", "PARA", "PIPE", "parse_binding",
+    "Loop", "temporal", "spatial", "auto_steps", "product_of_counts",
+    "split_spatial",
+    "AnalysisTree", "FusionNode", "OpTile", "TileNode",
+    "apply_loops", "op_coverage_below",
+    "check_tree", "validate_tree",
+    "render_notation", "parse_notation",
+]

@@ -1,0 +1,69 @@
+"""Inter-tile resource-binding primitives (Table 1 of the paper).
+
+The four primitives govern how sibling tiles under a fusion node share the
+accelerator's compute and memory resources:
+
+* ``Seq`` — tiles occupy all resources exclusively, in turns.  Saves
+  resources, but a tile's data is *evicted* when the next tile runs unless
+  the next tile also uses it (§5.1.2).
+* ``Shar`` — tiles execute in turns on the same compute resources but
+  their data stays resident together in the shared memory (more locality,
+  more memory usage).
+* ``Para`` — independent tiles run on disjoint compute/memory partitions
+  in the same time step.
+* ``Pipe`` — dependent tiles run pipelined on disjoint partitions.
+
+The resource recursions of §5.2 and the latency rules of §5.3 dispatch on
+these values (see :mod:`repro.analysis`).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+
+class Binding(Enum):
+    """Inter-tile binding primitive."""
+
+    SEQ = "Seq"
+    SHAR = "Shar"
+    PARA = "Para"
+    PIPE = "Pipe"
+
+    @property
+    def shares_compute_in_time(self) -> bool:
+        """True when siblings take turns on the same compute units."""
+        return self in (Binding.SEQ, Binding.SHAR)
+
+    @property
+    def keeps_data_resident(self) -> bool:
+        """True when sibling data persists in the shared buffer.
+
+        Only ``Seq`` evicts a finished tile's slices (unless the next tile
+        needs them); the other three primitives keep them staged.
+        """
+        return self is not Binding.SEQ
+
+    @property
+    def is_concurrent(self) -> bool:
+        """True when siblings overlap in time (Para/Pipe)."""
+        return self in (Binding.PARA, Binding.PIPE)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+SEQ = Binding.SEQ
+SHAR = Binding.SHAR
+PARA = Binding.PARA
+PIPE = Binding.PIPE
+
+
+def parse_binding(text: str) -> Binding:
+    """Parse a binding name ("Seq", "shar", "PIPE", ...)."""
+    try:
+        return Binding[text.strip().upper()]
+    except KeyError:
+        raise ValueError(
+            f"unknown binding {text!r}; expected one of "
+            f"{[b.value for b in Binding]}") from None

@@ -1,0 +1,109 @@
+"""Tiling loops.
+
+A :class:`Loop` iterates a named dimension ``count`` times, advancing the
+dimension's index by ``step`` per iteration.  Loops are either *temporal*
+(executed over time steps on the same hardware) or *spatial* (unrolled over
+parallel hardware instances) — the paper's intra-tile ``Tp``/``Sp`` binding
+primitives (Table 1).
+
+``step`` is expressed in the dimension's index space: tiling ``m = 512``
+as ``m2 (count 4) -> m1 (count 8) -> m0 (count 16)`` gives steps 128 / 16 /
+1.  Keeping the step explicit (rather than inferring it from inner loops)
+is what lets fused trees express halos: a producer tile can *cover* more
+than the shared loop's step (Fused-Layer recompute).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from ..errors import TreeValidationError
+
+
+class Loop:
+    """One tiling loop: ``for dim in range(count), stepping by step``."""
+
+    __slots__ = ("dim", "count", "step", "spatial")
+
+    def __init__(self, dim: str, count: int, step: int = 1,
+                 spatial: bool = False):
+        if not dim:
+            raise TreeValidationError("loop dim name must be non-empty")
+        if count <= 0:
+            raise TreeValidationError(
+                f"loop over {dim!r}: count must be positive, got {count}")
+        if step <= 0:
+            raise TreeValidationError(
+                f"loop over {dim!r}: step must be positive, got {step}")
+        self.dim = dim
+        self.count = int(count)
+        self.step = int(step)
+        self.spatial = bool(spatial)
+
+    @property
+    def span(self) -> int:
+        """Index-space distance covered by the loop: ``(count-1)*step + 1``.
+
+        This is the distance between the first and last iteration origins
+        plus one; the full *coverage* additionally depends on the extent of
+        whatever sits inside the loop.
+        """
+        return (self.count - 1) * self.step + 1
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Loop) and self.dim == other.dim
+                and self.count == other.count and self.step == other.step
+                and self.spatial == other.spatial)
+
+    def __hash__(self) -> int:
+        return hash((self.dim, self.count, self.step, self.spatial))
+
+    def __repr__(self) -> str:
+        tag = "Sp" if self.spatial else "Tp"
+        return f"{tag}({self.dim}:{self.count}x{self.step})"
+
+
+def temporal(dim: str, count: int, step: int = 1) -> Loop:
+    """A temporal loop (``Tp`` in the paper's notation)."""
+    return Loop(dim, count, step, spatial=False)
+
+
+def spatial(dim: str, count: int, step: int = 1) -> Loop:
+    """A spatial loop (``Sp`` in the paper's notation)."""
+    return Loop(dim, count, step, spatial=True)
+
+
+def product_of_counts(loops: Iterable[Loop]) -> int:
+    n = 1
+    for lp in loops:
+        n *= lp.count
+    return n
+
+
+def split_spatial(loops: Sequence[Loop]) -> Tuple[List[Loop], List[Loop]]:
+    """Partition loops into (temporal, spatial), preserving order."""
+    t = [lp for lp in loops if not lp.spatial]
+    s = [lp for lp in loops if lp.spatial]
+    return t, s
+
+
+def auto_steps(level_loops: Sequence[Sequence[Tuple[str, int, bool]]]
+               ) -> List[List[Loop]]:
+    """Assign steps to a per-level loop specification.
+
+    ``level_loops`` lists levels *outer to inner*; each level is a sequence
+    of ``(dim, count, spatial)`` triples.  The step of each loop is the
+    product of the counts of all loops over the same dim that appear at
+    deeper levels (or later in the same level) — the natural perfect-tiling
+    interpretation.  Returns loops per level, outer to inner.
+    """
+    multiplier: Dict[str, int] = {}
+    out_rev: List[List[Loop]] = []
+    for level in reversed(list(level_loops)):
+        loops_rev: List[Loop] = []
+        for dim, count, is_spatial in reversed(list(level)):
+            step = multiplier.get(dim, 1)
+            loops_rev.append(Loop(dim, count, step, spatial=is_spatial))
+            multiplier[dim] = step * count
+        out_rev.append(list(reversed(loops_rev)))
+    return list(reversed(out_rev))

@@ -1,0 +1,188 @@
+"""Rendering analysis trees in the paper's tile-centric notation (§4.2).
+
+A tile at memory level ``n`` is written ``T_n = {loops}(children)``; loops
+are annotated ``Sp``/``Tp`` (intra-tile binding) and fusion nodes add the
+inter-tile primitive.  :func:`render_notation` produces the textual form
+used throughout the paper, grouped by level — handy for reports, examples,
+and debugging mapper output.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from typing import Dict, List, Tuple
+
+from .bindings import Binding
+from .tree import AnalysisTree, FusionNode, OpTile, TileNode
+
+
+def _loop_text(node: TileNode) -> str:
+    parts = []
+    for lp in node.loops:
+        mark = "'" if lp.spatial else ""
+        step = f"*{lp.step}" if lp.step != 1 else ""
+        parts.append(f"{lp.dim}{mark}:{lp.count}{step}")
+    return "{" + ", ".join(parts) + "}"
+
+
+def render_notation(tree: AnalysisTree) -> str:
+    """Render the tree as tile definitions plus binding declarations.
+
+    Tiles are numbered ``T{level}^{index}`` in pre-order per level.  Loops
+    print as ``dim:count*step`` with a prime marking spatial loops.  The
+    inter-tile section lists each fusion node's binding over its children's
+    tile names; intra-tile (Sp) bindings are implied by the primes.
+    """
+    names: Dict[int, str] = {}
+    per_level: Dict[int, List[int]] = defaultdict(list)
+    order: List[TileNode] = list(tree.nodes())
+    for node in order:
+        idx = len(per_level[node.level])
+        per_level[node.level].append(idx)
+        names[id(node)] = f"T{node.level}^{idx}"
+
+    def describe(node: TileNode) -> str:
+        kids = node.children_nodes()
+        child_part = ("(" + ", ".join(names[id(c)] for c in kids) + ")"
+                      if kids else
+                      (f"<{node.op.name}>" if isinstance(node, OpTile)
+                       else "()"))
+        return f"{names[id(node)]} = {_loop_text(node)}{child_part}"
+
+    lines: List[str] = [f"# {tree.name}"]
+    by_level: Dict[int, List[TileNode]] = defaultdict(list)
+    for node in order:
+        by_level[node.level].append(node)
+    for level in sorted(by_level, reverse=True):
+        lines.append(f"level {level}:")
+        for node in by_level[level]:
+            lines.append(f"  {describe(node)}")
+    fusion_lines = []
+    for node in order:
+        if isinstance(node, FusionNode) and len(node.children) > 1:
+            kids = ", ".join(names[id(c)] for c in node.children)
+            fusion_lines.append(f"  {node.binding.value}({kids})")
+    if fusion_lines:
+        lines.append("inter-tile:")
+        lines.extend(fusion_lines)
+    spatial = [f"Sp({lp.dim}@{names[id(node)]})"
+               for node in order for lp in node.loops if lp.spatial]
+    if spatial:
+        lines.append("intra-tile:")
+        lines.append("  " + ", ".join(spatial))
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Parsing
+# ----------------------------------------------------------------------
+_TILE_RE = re.compile(
+    r"^\s*(T(?P<level>\d+)\^(?P<index>\d+))\s*=\s*"
+    r"\{(?P<loops>[^}]*)\}"
+    r"(?:\((?P<children>[^)]*)\)|<(?P<op>\w+)>)\s*$")
+_LOOP_RE = re.compile(
+    r"^(?P<dim>\w+)(?P<prime>')?:(?P<count>\d+)(?:\*(?P<step>\d+))?$")
+_BINDING_RE = re.compile(r"^\s*(?P<binding>\w+)\((?P<tiles>[^)]*)\)\s*$")
+
+
+def parse_notation(text: str, workload) -> AnalysisTree:
+    """Parse a :func:`render_notation` string back into an analysis tree.
+
+    The notation is self-contained up to operator bodies, which are
+    resolved against ``workload`` by name.  Round-tripping is exact:
+    ``parse_notation(render_notation(t), t.workload)`` reproduces the
+    tree's loops, levels, children, and bindings.
+    """
+    from ..errors import NotationError
+    from ..ir import Workload
+    from .bindings import parse_binding
+    from .loops import Loop
+
+    specs: Dict[str, dict] = {}
+    bindings: Dict[str, "Binding"] = {}
+    section = "tiles"
+    name = None
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            name = line.lstrip("# ").strip() or None
+            continue
+        if line.startswith("level "):
+            section = "tiles"
+            continue
+        if line.startswith("inter-tile"):
+            section = "inter"
+            continue
+        if line.startswith("intra-tile"):
+            section = "intra"
+            continue
+        if section == "tiles":
+            m = _TILE_RE.match(line)
+            if not m:
+                raise NotationError(f"cannot parse tile line: {line!r}")
+            loops = []
+            loop_text = m.group("loops").strip()
+            if loop_text:
+                for part in loop_text.split(","):
+                    lm = _LOOP_RE.match(part.strip())
+                    if not lm:
+                        raise NotationError(
+                            f"cannot parse loop {part.strip()!r}")
+                    loops.append(Loop(
+                        lm.group("dim"), int(lm.group("count")),
+                        int(lm.group("step") or 1),
+                        spatial=lm.group("prime") is not None))
+            children_text = m.group("children")
+            children = ([c.strip() for c in children_text.split(",")
+                         if c.strip()] if children_text else [])
+            specs[m.group(1)] = {
+                "level": int(m.group("level")),
+                "loops": loops,
+                "children": children,
+                "op": m.group("op"),
+            }
+        elif section == "inter":
+            m = _BINDING_RE.match(line)
+            if not m:
+                raise NotationError(f"cannot parse binding line: {line!r}")
+            binding = parse_binding(m.group("binding"))
+            for tile_name in m.group("tiles").split(","):
+                bindings[tile_name.strip()] = binding
+        # intra-tile section is informational (primes carry Sp already)
+
+    if not specs:
+        raise NotationError("no tile definitions found")
+    referenced = {c for spec in specs.values() for c in spec["children"]}
+    roots = [t for t in specs if t not in referenced]
+    if len(roots) != 1:
+        raise NotationError(f"expected one root tile, found {roots}")
+
+    built: Dict[str, TileNode] = {}
+
+    def build(tile_name: str) -> TileNode:
+        if tile_name in built:
+            raise NotationError(f"tile {tile_name!r} used twice")
+        spec = specs[tile_name]
+        if spec["op"] is not None:
+            node: TileNode = OpTile(workload.operator(spec["op"]),
+                                    spec["loops"], spec["level"])
+        else:
+            kids = [build(c) for c in spec["children"]]
+            if (len(kids) == 1 and isinstance(kids[0], OpTile)
+                    and all(lp.dim in kids[0].op.dims
+                            for lp in spec["loops"])):
+                node = OpTile(kids[0].op, spec["loops"], spec["level"],
+                              child=kids[0])
+            else:
+                first_child = specs[tile_name]["children"][0]
+                binding = bindings.get(first_child, Binding.SEQ)
+                node = FusionNode(spec["loops"], spec["level"], kids,
+                                  binding=binding)
+        built[tile_name] = node
+        return node
+
+    root = build(roots[0])
+    return AnalysisTree(workload, root, name=name)

@@ -1,0 +1,21 @@
+"""Workload builders and the paper's shape tables."""
+
+from . import attention, convchain, matmul, mlp
+from .attention import self_attention
+from .convchain import conv_chain
+from .matmul import batched_matmul, matmul
+from .mlp import mlp
+from .shapes import (ATTENTION_SHAPES, CLOUD_ATTENTION_NAMES,
+                     CONV_CHAIN_SHAPES, EDGE_ATTENTION_NAMES,
+                     AttentionShape, ConvChainShape)
+
+attention_from_shape = attention.from_shape
+conv_chain_from_shape = convchain.from_shape
+
+__all__ = [
+    "self_attention", "conv_chain", "matmul", "batched_matmul", "mlp",
+    "attention_from_shape", "conv_chain_from_shape",
+    "ATTENTION_SHAPES", "CONV_CHAIN_SHAPES",
+    "EDGE_ATTENTION_NAMES", "CLOUD_ATTENTION_NAMES",
+    "AttentionShape", "ConvChainShape",
+]

@@ -1,0 +1,121 @@
+"""Self-attention workloads.
+
+The self-attention layer of Fig. 1b is two batched matrix multiplications
+around a softmax:
+
+    S = Q x K          (scores)
+    L = Softmax(S)     (row-wise over the key dimension)
+    A = L x V          (context)
+
+Per §7.2 the non-linear softmax is expanded into five small operators —
+``max``, ``sub``, ``exp``, ``sum``, ``div`` — each a perfect loop nest, so
+the whole layer becomes a seven-operator chain the tree analysis can handle
+uniformly.  :func:`self_attention` builds either the expanded (default) or
+the compact three-operator form.
+
+Dimension names (shared across operators, which is what lets fused tiles
+iterate them jointly):
+
+    ``b`` batch, ``h`` heads, ``m`` query rows, ``l`` key rows (the softmax
+    reduction dim), ``k`` per-head feature dim of Q/K, ``n`` per-head
+    feature dim of V/output.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir import Operator, Tensor, TensorAccess, Workload, dim, simple_access
+from .shapes import AttentionShape
+
+
+def self_attention(num_heads: int, seq_len: int, hidden: int,
+                   batch: int = 1, expand_softmax: bool = True,
+                   name: Optional[str] = None,
+                   word_bytes: int = 2) -> Workload:
+    """Build a self-attention workload.
+
+    Parameters
+    ----------
+    num_heads, seq_len, hidden:
+        Table 2 parameters; the per-head dim is ``hidden // num_heads``.
+    batch:
+        Mini-batch size (Table 7 uses 128; the dataflow comparisons use 1).
+    expand_softmax:
+        Expand softmax into max/sub/exp/sum/div (the paper's treatment).
+        When False a single "softmax" operator with no reduction dims is
+        used, which is convenient for small unit tests.
+    """
+    if hidden % num_heads:
+        raise ValueError(f"hidden {hidden} not divisible by heads {num_heads}")
+    d = hidden // num_heads
+    wname = name or f"attention(h={num_heads},s={seq_len},d={hidden})"
+
+    q = Tensor("Q", (batch, num_heads, seq_len, d), word_bytes)
+    kt = Tensor("K", (batch, num_heads, d, seq_len), word_bytes)
+    v = Tensor("V", (batch, num_heads, seq_len, d), word_bytes)
+    s = Tensor("S", (batch, num_heads, seq_len, seq_len), word_bytes)
+    lt = Tensor("L", (batch, num_heads, seq_len, seq_len), word_bytes)
+    a = Tensor("A", (batch, num_heads, seq_len, d), word_bytes)
+
+    qk = Operator(
+        name="qk",
+        dims={"b": batch, "h": num_heads, "m": seq_len, "l": seq_len, "k": d},
+        inputs=[simple_access(q, "b", "h", "m", "k"),
+                simple_access(kt, "b", "h", "k", "l")],
+        output=simple_access(s, "b", "h", "m", "l"),
+        kind="mac",
+    )
+
+    if expand_softmax:
+        mx = Tensor("Mx", (batch, num_heads, seq_len), word_bytes)
+        sub = Tensor("Sub", (batch, num_heads, seq_len, seq_len), word_bytes)
+        ex = Tensor("E", (batch, num_heads, seq_len, seq_len), word_bytes)
+        sm = Tensor("Sm", (batch, num_heads, seq_len), word_bytes)
+        row_dims = {"b": batch, "h": num_heads, "m": seq_len, "l": seq_len}
+        softmax_ops = [
+            Operator("smax_max", row_dims,
+                     [simple_access(s, "b", "h", "m", "l")],
+                     simple_access(mx, "b", "h", "m"), kind="max"),
+            Operator("smax_sub", row_dims,
+                     [simple_access(s, "b", "h", "m", "l"),
+                      simple_access(mx, "b", "h", "m")],
+                     simple_access(sub, "b", "h", "m", "l"), kind="sub"),
+            Operator("smax_exp", row_dims,
+                     [simple_access(sub, "b", "h", "m", "l")],
+                     simple_access(ex, "b", "h", "m", "l"), kind="exp"),
+            Operator("smax_sum", row_dims,
+                     [simple_access(ex, "b", "h", "m", "l")],
+                     simple_access(sm, "b", "h", "m"), kind="sum"),
+            Operator("smax_div", row_dims,
+                     [simple_access(ex, "b", "h", "m", "l"),
+                      simple_access(sm, "b", "h", "m")],
+                     simple_access(lt, "b", "h", "m", "l"), kind="div"),
+        ]
+    else:
+        softmax_ops = [
+            Operator("softmax",
+                     {"b": batch, "h": num_heads, "m": seq_len, "l": seq_len},
+                     [simple_access(s, "b", "h", "m", "l")],
+                     simple_access(lt, "b", "h", "m", "l"),
+                     ops_per_point=5.0, kind="softmax"),
+        ]
+
+    av = Operator(
+        name="av",
+        dims={"b": batch, "h": num_heads, "m": seq_len, "n": d, "l": seq_len},
+        inputs=[simple_access(lt, "b", "h", "m", "l"),
+                simple_access(v, "b", "h", "l", "n")],
+        output=simple_access(a, "b", "h", "m", "n"),
+        kind="mac",
+    )
+
+    return Workload(wname, [qk, *softmax_ops, av])
+
+
+def from_shape(shape: AttentionShape, batch: int = 1,
+               expand_softmax: bool = True) -> Workload:
+    """Build a self-attention workload from a Table 2 row."""
+    return self_attention(shape.num_heads, shape.seq_len, shape.hidden,
+                          batch=batch, expand_softmax=expand_softmax,
+                          name=shape.name)

@@ -1,0 +1,86 @@
+"""Convolution-chain workloads (Fig. 1c / Table 3).
+
+Two chained valid convolutions with square filters:
+
+    Act[p, q, c1] += Im[p + r, q + s, c0] * W1[r, s, c0, c1]
+    Out[p, q, c2] += Act[p + u, q + v, c1] * W2[u, v, c1, c2]
+
+The spatial dims of *both* convolutions are named ``p``/``q`` (with
+different extents: the producer computes ``kernel - 1`` more rows/columns
+than the consumer needs per position).  Sharing the names is what lets a
+fused tile iterate both operators jointly: a fusion loop stepping ``p`` by
+``T`` advances the consumer's output tile and the producer's intermediate
+tile in lockstep, and the producer's leaf covering ``T + kernel - 1`` rows
+expresses the Fused-Layer halo/recompute.
+
+Table 3's ``Height x Width`` is interpreted as the spatial size of the
+intermediate tensor ``Act`` (the tensor whose staging the fusion dataflows
+are about); the image is padded accordingly and the final output loses
+``kernel - 1`` rows/columns, as in a valid convolution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir import Operator, Tensor, TensorAccess, Workload, dim
+from .shapes import ConvChainShape
+
+
+def conv_chain(in_channels: int, height: int, width: int,
+               out_channels1: int, out_channels2: int, kernel: int = 3,
+               name: Optional[str] = None, word_bytes: int = 2) -> Workload:
+    """Build a two-convolution chain.
+
+    ``height``/``width`` are the spatial extents of the intermediate
+    tensor; the chain output is ``(height - kernel + 1)`` by
+    ``(width - kernel + 1)``.
+    """
+    if kernel < 1:
+        raise ValueError(f"kernel must be >= 1, got {kernel}")
+    if height < kernel or width < kernel:
+        raise ValueError("intermediate must be at least one filter window")
+    pad = kernel - 1
+    out_h, out_w = height - pad, width - pad
+    wname = name or (f"convchain(c={in_channels},{height}x{width},"
+                     f"{out_channels1}->{out_channels2},k={kernel})")
+
+    im = Tensor("Im", (height + pad, width + pad, in_channels), word_bytes)
+    w1 = Tensor("W1", (kernel, kernel, in_channels, out_channels1), word_bytes)
+    act = Tensor("Act", (height, width, out_channels1), word_bytes)
+    w2 = Tensor("W2", (kernel, kernel, out_channels1, out_channels2),
+                word_bytes)
+    out = Tensor("Out", (out_h, out_w, out_channels2), word_bytes)
+
+    conv1 = Operator(
+        name="conv1",
+        dims={"p": height, "q": width, "c1": out_channels1,
+              "r": kernel, "s": kernel, "c0": in_channels},
+        inputs=[
+            TensorAccess(im, (dim("p") + dim("r"), dim("q") + dim("s"),
+                              dim("c0"))),
+            TensorAccess(w1, (dim("r"), dim("s"), dim("c0"), dim("c1"))),
+        ],
+        output=TensorAccess(act, (dim("p"), dim("q"), dim("c1"))),
+        kind="mac",
+    )
+    conv2 = Operator(
+        name="conv2",
+        dims={"p": out_h, "q": out_w, "c2": out_channels2,
+              "u": kernel, "v": kernel, "c1": out_channels1},
+        inputs=[
+            TensorAccess(act, (dim("p") + dim("u"), dim("q") + dim("v"),
+                               dim("c1"))),
+            TensorAccess(w2, (dim("u"), dim("v"), dim("c1"), dim("c2"))),
+        ],
+        output=TensorAccess(out, (dim("p"), dim("q"), dim("c2"))),
+        kind="mac",
+    )
+    return Workload(wname, [conv1, conv2])
+
+
+def from_shape(shape: ConvChainShape) -> Workload:
+    """Build a convolution chain from a Table 3 row."""
+    return conv_chain(shape.in_channels, shape.height, shape.width,
+                      shape.out_channels1, shape.out_channels2,
+                      kernel=shape.kernel, name=shape.name)

@@ -1,0 +1,42 @@
+"""Matrix-multiplication workloads (used for the Fig. 8a/8b validation)."""
+
+from __future__ import annotations
+
+from ..ir import Operator, Tensor, Workload, simple_access
+
+
+def matmul(m: int, n: int, k: int, name: str = "matmul",
+           word_bytes: int = 2) -> Workload:
+    """``C[i, j] += A[i, k] * B[k, j]`` as a one-operator workload.
+
+    Dimension names follow the paper's examples: ``i`` and ``j`` index the
+    output, ``k`` is the reduction dimension.
+    """
+    a = Tensor("A", (m, k), word_bytes)
+    b = Tensor("B", (k, n), word_bytes)
+    c = Tensor("C", (m, n), word_bytes)
+    op = Operator(
+        name="mm",
+        dims={"i": m, "j": n, "k": k},
+        inputs=[simple_access(a, "i", "k"), simple_access(b, "k", "j")],
+        output=simple_access(c, "i", "j"),
+        kind="mac",
+    )
+    return Workload(name, [op])
+
+
+def batched_matmul(batch: int, m: int, n: int, k: int,
+                   name: str = "bmm", word_bytes: int = 2) -> Workload:
+    """``C[b, i, j] += A[b, i, k] * B[b, k, j]``."""
+    a = Tensor("A", (batch, m, k), word_bytes)
+    b = Tensor("B", (batch, k, n), word_bytes)
+    c = Tensor("C", (batch, m, n), word_bytes)
+    op = Operator(
+        name="bmm",
+        dims={"b": batch, "i": m, "j": n, "k": k},
+        inputs=[simple_access(a, "b", "i", "k"),
+                simple_access(b, "b", "k", "j")],
+        output=simple_access(c, "b", "i", "j"),
+        kind="mac",
+    )
+    return Workload(name, [op])

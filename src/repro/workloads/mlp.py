@@ -1,0 +1,43 @@
+"""MLP / GEMM-chain workloads (beyond the paper's two families).
+
+A two-layer feed-forward block — ``H = X x W1``, ``Y = H x W2`` — is the
+other fusion-friendly pattern transformers are made of.  The paper's
+framework handles it unchanged: ``H`` is the intermediate whose staging
+fusion dataflows optimize, the hidden dimension ``h`` is the second
+GEMM's reduction (so tiling it above the fusion point is legal per
+§4.1), and the generic mapper explores the 3-D space directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..ir import Operator, Tensor, Workload, simple_access
+
+
+def mlp(batch_tokens: int, model_dim: int, hidden_dim: int,
+        name: Optional[str] = None, word_bytes: int = 2) -> Workload:
+    """Two chained GEMMs: ``H[i,h] += X[i,k] W1[k,h]``,
+    ``Y[i,o] += H[i,h] W2[h,o]``.
+
+    Dimension names: ``i`` tokens, ``k`` model dim (first reduction),
+    ``h`` hidden dim (intermediate columns / second reduction), ``o``
+    output model dim.
+    """
+    wname = name or f"mlp({batch_tokens}x{model_dim}->{hidden_dim})"
+    x = Tensor("X", (batch_tokens, model_dim), word_bytes)
+    w1 = Tensor("W1", (model_dim, hidden_dim), word_bytes)
+    h = Tensor("H", (batch_tokens, hidden_dim), word_bytes)
+    w2 = Tensor("W2", (hidden_dim, model_dim), word_bytes)
+    y = Tensor("Y", (batch_tokens, model_dim), word_bytes)
+    fc1 = Operator("fc1", {"i": batch_tokens, "h": hidden_dim,
+                           "k": model_dim},
+                   [simple_access(x, "i", "k"),
+                    simple_access(w1, "k", "h")],
+                   simple_access(h, "i", "h"), kind="mac")
+    fc2 = Operator("fc2", {"i": batch_tokens, "o": model_dim,
+                           "h": hidden_dim},
+                   [simple_access(h, "i", "h"),
+                    simple_access(w2, "h", "o")],
+                   simple_access(y, "i", "o"), kind="mac")
+    return Workload(wname, [fc1, fc2])

@@ -1,0 +1,80 @@
+"""Workload shape tables from the paper's evaluation section.
+
+:data:`ATTENTION_SHAPES` reproduces Table 2 (self-attention shapes) and
+:data:`CONV_CHAIN_SHAPES` reproduces Table 3 (convolution-chain shapes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class AttentionShape:
+    """One row of Table 2."""
+
+    name: str
+    model: str
+    num_heads: int
+    seq_len: int
+    hidden: int
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head feature dimension (hidden / num_heads)."""
+        if self.hidden % self.num_heads:
+            raise ValueError(
+                f"{self.name}: hidden {self.hidden} not divisible by "
+                f"num_heads {self.num_heads}")
+        return self.hidden // self.num_heads
+
+
+@dataclass(frozen=True)
+class ConvChainShape:
+    """One row of Table 3 (two chained convolutions, 3x3 filters)."""
+
+    name: str
+    in_channels: int
+    height: int
+    width: int
+    out_channels1: int
+    out_channels2: int
+    kernel: int = 3
+
+
+_ATTENTION_ROWS: Tuple[AttentionShape, ...] = (
+    AttentionShape("Bert-S", "Bert", 8, 512, 512),
+    AttentionShape("Bert-B", "Bert", 12, 512, 768),
+    AttentionShape("Bert-L", "Bert", 16, 512, 1024),
+    AttentionShape("ViT/14-B", "ViT", 12, 256, 768),
+    AttentionShape("ViT/14-L", "ViT", 16, 256, 1024),
+    AttentionShape("ViT/14-H", "ViT", 16, 256, 1280),
+    AttentionShape("ViT/16-B", "ViT", 12, 196, 768),
+    AttentionShape("ViT/16-L", "ViT", 16, 196, 1024),
+    AttentionShape("ViT/16-H", "ViT", 16, 196, 1280),
+    AttentionShape("T5", "T5", 16, 1024, 1024),
+    AttentionShape("XLM", "XLM", 12, 1024, 768),
+)
+
+#: Table 2, keyed by shape name.
+ATTENTION_SHAPES: Dict[str, AttentionShape] = {
+    s.name: s for s in _ATTENTION_ROWS}
+
+_CONV_ROWS: Tuple[ConvChainShape, ...] = (
+    ConvChainShape("CC1", 64, 112, 112, 192, 128),
+    ConvChainShape("CC2", 32, 147, 147, 64, 80),
+    ConvChainShape("CC3", 64, 56, 56, 128, 64),
+    ConvChainShape("CC4", 128, 28, 28, 256, 128),
+    ConvChainShape("CC5", 16, 227, 227, 64, 16),
+)
+
+#: Table 3, keyed by shape name.
+CONV_CHAIN_SHAPES: Dict[str, ConvChainShape] = {s.name: s for s in _CONV_ROWS}
+
+#: Shapes used in the attention evaluation on the Edge accelerator (Fig. 10).
+EDGE_ATTENTION_NAMES: Tuple[str, ...] = tuple(s.name for s in _ATTENTION_ROWS)
+
+#: Shapes used on the Cloud accelerator (Fig. 11 drops T5 and XLM).
+CLOUD_ATTENTION_NAMES: Tuple[str, ...] = tuple(
+    s.name for s in _ATTENTION_ROWS if s.model not in ("T5", "XLM"))

@@ -1,0 +1,125 @@
+"""Integration tests: full pipelines across modules."""
+
+import pytest
+
+from repro import arch
+from repro.analysis import TileFlowModel
+from repro.dataflows import (ATTENTION_DATAFLOWS, CONV_DATAFLOWS,
+                             attention_dataflow, conv_dataflow)
+from repro.mapper import TileFlowMapper, tune_template
+from repro.dataflows import attention_factor_space
+from repro.sim import SimulatedAccelerator
+from repro.workloads import (ATTENTION_SHAPES, CONV_CHAIN_SHAPES,
+                             attention_from_shape, conv_chain_from_shape)
+
+
+class TestPaperHeadlines:
+    """The qualitative claims of §7, end to end."""
+
+    @pytest.fixture(scope="class")
+    def edge_results(self):
+        wl = attention_from_shape(ATTENTION_SHAPES["Bert-S"])
+        spec = arch.edge()
+        model = TileFlowModel(spec)
+        return {name: model.evaluate(tmpl(wl, spec))
+                for name, tmpl in ATTENTION_DATAFLOWS.items()}
+
+    def test_fusion_beats_layerwise_on_edge(self, edge_results):
+        base = edge_results["layerwise"].latency_cycles
+        for name in ("flat_hgran", "flat_rgran", "chimera", "tileflow"):
+            assert edge_results[name].latency_cycles < base
+
+    def test_tileflow_dataflow_wins(self, edge_results):
+        best = min(r.latency_cycles for r in edge_results.values())
+        assert edge_results["tileflow"].latency_cycles == best
+
+    def test_fusion_cuts_dram_by_most(self, edge_results):
+        base = edge_results["layerwise"].dram_words()
+        assert edge_results["flat_rgran"].dram_words() < 0.2 * base
+
+    def test_onchip_movement_stays_high_under_fusion(self, edge_results):
+        # DRAM movement collapses under fusion while L1 movement stays on
+        # the same order: reuse migrates on-chip (Fig. 10b/10c's point).
+        base_l1 = edge_results["layerwise"].onchip_words(1)
+        base_dram = edge_results["layerwise"].dram_words()
+        fused = edge_results["flat_rgran"]
+        assert fused.dram_words() / base_dram < 0.2
+        assert fused.onchip_words(1) / base_l1 > 0.3
+
+    def test_read_dominates_l1_breakdown(self, edge_results):
+        traffic = edge_results["flat_rgran"].traffic[1]
+        shares = {k: v / traffic.total_words
+                  for k, v in traffic.breakdown().items()}
+        assert shares["read"] > 0.5  # paper: 80.9%
+
+    def test_conv_fused_layer_cuts_dram(self):
+        wl = conv_chain_from_shape(CONV_CHAIN_SHAPES["CC3"])
+        spec = arch.cloud()
+        model = TileFlowModel(spec)
+        lw = model.evaluate(conv_dataflow("layerwise", wl, spec))
+        fl = model.evaluate(conv_dataflow("fused_layer", wl, spec))
+        assert fl.dram_words() < 0.7 * lw.dram_words()
+
+
+class TestModelVsSimulator:
+    def test_cross_validation_small(self):
+        spec = arch.validation_accelerator()
+        wl = attention_from_shape(ATTENTION_SHAPES["ViT/16-B"])
+        wl_small = attention_from_shape(ATTENTION_SHAPES["ViT/16-B"])
+        tree = attention_dataflow("flat_rgran", wl_small, spec)
+        model = TileFlowModel(spec).evaluate(tree)
+        sim = SimulatedAccelerator(spec).run(tree)
+        assert 0.2 < model.latency_cycles / sim.cycles < 2.0
+        assert 0.5 < model.energy_pj / sim.energy_pj < 2.0
+
+
+class TestMapperPipeline:
+    def test_tuning_never_hurts(self):
+        wl = attention_from_shape(ATTENTION_SHAPES["Bert-S"])
+        spec = arch.edge()
+        model = TileFlowModel(spec)
+        default = model.evaluate(
+            attention_dataflow("chimera", wl, spec)).latency_cycles
+        tuned = tune_template(
+            ATTENTION_DATAFLOWS["chimera"],
+            attention_factor_space("chimera", wl), wl, spec,
+            samples=25, respect_memory=False)
+        assert tuned.best_cost <= default * 1.001
+
+    def test_full_space_exploration_finds_fusion(self):
+        wl = attention_from_shape(ATTENTION_SHAPES["ViT/16-B"])
+        mapper = TileFlowMapper(wl, arch.edge(), respect_memory=False,
+                                seed=3)
+        result = mapper.explore(generations=4, population=8,
+                                mcts_samples=10)
+        # The champion should fuse at least two operators.
+        assert any(result.best_genome.fuse_edges)
+
+    def test_mapper_result_is_reproducible(self):
+        wl = attention_from_shape(ATTENTION_SHAPES["ViT/16-B"])
+        r1 = TileFlowMapper(wl, arch.edge(), seed=11).explore(
+            generations=2, population=5, mcts_samples=6)
+        r2 = TileFlowMapper(wl, arch.edge(), seed=11).explore(
+            generations=2, population=5, mcts_samples=6)
+        assert r1.best_cost == r2.best_cost
+
+
+class TestAllShapesAllDataflows:
+    @pytest.mark.parametrize("shape", sorted(ATTENTION_SHAPES))
+    def test_every_shape_evaluates_on_edge(self, shape):
+        wl = attention_from_shape(ATTENTION_SHAPES[shape])
+        spec = arch.edge()
+        model = TileFlowModel(spec)
+        for name, tmpl in ATTENTION_DATAFLOWS.items():
+            r = model.evaluate(tmpl(wl, spec))
+            assert r.latency_cycles > 0
+            assert r.energy_pj > 0
+
+    @pytest.mark.parametrize("shape", sorted(CONV_CHAIN_SHAPES))
+    def test_every_conv_shape_evaluates(self, shape):
+        wl = conv_chain_from_shape(CONV_CHAIN_SHAPES[shape])
+        for spec in (arch.edge(), arch.cloud()):
+            model = TileFlowModel(spec)
+            for name in CONV_DATAFLOWS:
+                r = model.evaluate(conv_dataflow(name, wl, spec))
+                assert r.latency_cycles > 0

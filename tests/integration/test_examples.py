@@ -1,0 +1,30 @@
+"""The example scripts must run end to end (they are documentation)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart.py",
+    "attention_fusion.py",
+    "conv_chain_fusion.py",
+    "architecture_sweep.py",
+])
+def test_example_runs(script, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [script])
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip()
+
+
+def test_mapper_example_runs(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["mapper_search.py"])
+    runpy.run_path(str(EXAMPLES / "mapper_search.py"),
+                   run_name="__main__")
+    out = capsys.readouterr().out
+    assert "champion" in out

@@ -1,0 +1,59 @@
+"""Property tests on the analysis engine over randomized mappings."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import DataMovementAnalysis, TileFlowModel
+from repro.arch import edge
+from repro.tile import AnalysisTree, OpTile
+from repro.tile.loops import auto_steps
+from repro.workloads import matmul
+
+SIZE = 64
+splits = st.sampled_from([1, 2, 4, 8])
+orders = st.permutations(["i", "j", "k"])
+
+
+def _tree(i1, j1, k1, order):
+    wl = matmul(SIZE, SIZE, SIZE)
+    op = wl.operators[0]
+    inner = {"i": SIZE // (8 * i1), "j": SIZE // (8 * j1),
+             "k": SIZE // k1}
+    spec = [[(d, {"i": i1, "j": j1, "k": k1}[d], False) for d in order],
+            [(d, inner[d], False) for d in order]
+            + [("i", 8, True), ("j", 8, True)]]
+    lv = auto_steps(spec)
+    leaf = OpTile(op, lv[1], level=0)
+    top = OpTile(op, lv[0], level=1, child=leaf)
+    return wl, AnalysisTree(wl, top)
+
+
+@given(splits, splits, splits, orders)
+@settings(max_examples=40, deadline=None)
+def test_traffic_lower_bounds(i1, j1, k1, order):
+    """Every mapping must move at least the compulsory volumes."""
+    wl, tree = _tree(i1, j1, k1, order)
+    result = DataMovementAnalysis(tree, edge()).run()
+    top = result.flows(tree.root)
+    assert top.fills["A"] >= SIZE * SIZE
+    assert top.fills["B"] >= SIZE * SIZE
+    assert top.updates["C"] >= SIZE * SIZE
+
+
+@given(splits, splits, splits, orders)
+@settings(max_examples=30, deadline=None)
+def test_latency_at_least_compute_floor(i1, j1, k1, order):
+    wl, tree = _tree(i1, j1, k1, order)
+    r = TileFlowModel(edge()).evaluate(tree)
+    floor = SIZE ** 3 / 64  # 8x8 lanes
+    assert r.latency_cycles >= floor - 1e-6
+    assert r.energy_pj > 0
+
+
+@given(splits, splits, splits, orders)
+@settings(max_examples=30, deadline=None)
+def test_counters_are_nonnegative(i1, j1, k1, order):
+    wl, tree = _tree(i1, j1, k1, order)
+    result = DataMovementAnalysis(tree, edge()).run()
+    for lt in result.traffic.values():
+        for counter in (lt.fill, lt.read, lt.update):
+            assert all(v >= 0 for v in counter.values())

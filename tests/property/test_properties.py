@@ -1,0 +1,120 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import (box_volume, delta_volume, movement_recursion,
+                            overlap_volume)
+from repro.dataflows import divisors, floor_divisor, near_divisor, near_tile
+from repro.ir import AffineExpr, dim
+from repro.mapper import FactorSpace, factorizations
+
+sizes = st.integers(min_value=1, max_value=512)
+small = st.integers(min_value=1, max_value=64)
+coeffs = st.integers(min_value=-4, max_value=4)
+
+
+class TestExprProperties:
+    @given(st.dictionaries(st.sampled_from("abcd"), coeffs, max_size=4),
+           st.dictionaries(st.sampled_from("abcd"), coeffs, max_size=4))
+    def test_addition_commutes(self, t1, t2):
+        e1, e2 = AffineExpr(t1), AffineExpr(t2)
+        assert e1 + e2 == e2 + e1
+
+    @given(st.dictionaries(st.sampled_from("abcd"), coeffs, max_size=4),
+           st.integers(min_value=-8, max_value=8))
+    def test_scaling_distributes_over_eval(self, terms, k):
+        e = AffineExpr(terms)
+        point = {d: 3 for d in terms}
+        assert (e * k).evaluate(point) == k * e.evaluate(point)
+
+    @given(st.dictionaries(st.sampled_from("abcd"), coeffs, min_size=1,
+                           max_size=4),
+           st.dictionaries(st.sampled_from("abcd"), small, min_size=1,
+                           max_size=4))
+    def test_extent_positive_and_monotone(self, terms, extents):
+        e = AffineExpr(terms)
+        ext = e.extent_over(extents)
+        assert ext >= 1
+        bigger = {d: n + 1 for d, n in extents.items()}
+        assert e.extent_over(bigger) >= ext
+
+
+class TestBoxProperties:
+    boxes = st.lists(small, min_size=1, max_size=4)
+
+    @given(boxes, st.lists(st.integers(-64, 64), min_size=1, max_size=4))
+    def test_delta_bounds(self, extents, disp):
+        disp = (disp + [0] * len(extents))[:len(extents)]
+        d = delta_volume(extents, disp)
+        assert 0 <= d <= box_volume(extents)
+
+    @given(boxes)
+    def test_zero_displacement_is_full_reuse(self, extents):
+        assert delta_volume(extents, [0] * len(extents)) == 0
+
+    @given(boxes, st.lists(st.integers(-64, 64), min_size=1, max_size=4))
+    def test_overlap_symmetry(self, extents, disp):
+        disp = (disp + [0] * len(extents))[:len(extents)]
+        neg = [-d for d in disp]
+        assert overlap_volume(extents, disp) == overlap_volume(extents, neg)
+
+    @given(small, st.lists(st.tuples(st.integers(1, 6),
+                                     st.integers(0, 40)),
+                           max_size=4))
+    def test_movement_recursion_bounds(self, volume, loops):
+        counts = [c for c, _ in loops]
+        deltas = [min(d, volume) for _, d in loops]
+        total = movement_recursion(volume, counts, deltas)
+        trips = 1
+        for c in counts:
+            trips *= c
+        assert volume <= total <= volume * trips
+
+
+class TestDivisorProperties:
+    @given(sizes)
+    def test_divisors_divide(self, n):
+        ds = divisors(n)
+        assert all(n % d == 0 for d in ds)
+        assert ds == sorted(ds)
+        assert ds[0] == 1 and ds[-1] == n
+
+    @given(sizes, small)
+    def test_near_divisor_is_divisor(self, n, target):
+        assert n % near_divisor(n, target) == 0
+
+    @given(sizes, small)
+    def test_floor_divisor_bound(self, n, cap):
+        d = floor_divisor(n, cap)
+        assert d <= cap or d == 1
+        assert n % d == 0
+
+    @given(sizes, small)
+    def test_near_tile_is_multiple_of_unit(self, n, target):
+        unit = near_divisor(n, 4)
+        t = near_tile(n, unit, target)
+        assert n % t == 0 and t % unit == 0
+
+    @given(st.integers(1, 64), st.integers(1, 3))
+    @settings(max_examples=30)
+    def test_factorization_products(self, n, parts):
+        for f in factorizations(n, parts):
+            prod = 1
+            for x in f:
+                prod *= x
+            assert prod == n
+
+
+class TestFactorSpaceProperties:
+    @given(st.dictionaries(st.sampled_from(["p", "q", "r"]),
+                           st.lists(small, min_size=1, max_size=5,
+                                    unique=True),
+                           min_size=1, max_size=3))
+    def test_point_at_within_choices(self, choices):
+        space = FactorSpace(choices)
+        point = space.default_point()
+        for name, value in point.items():
+            assert value in choices[name]
+        indices = [0] * len(space.names)
+        first = space.point_at(indices)
+        assert all(first[n] == space.choices[n][0] for n in space.names)

@@ -1,0 +1,124 @@
+"""Unit tests for architecture specifications and presets."""
+
+import pytest
+
+from repro.arch import (Architecture, MemoryLevel, by_name, cloud, edge,
+                        gpu_like, level_energy_pj, sram_access_energy_pj,
+                        validation_accelerator)
+from repro.errors import ArchitectureError
+
+
+class TestMemoryLevel:
+    def test_bytes_per_cycle(self):
+        lv = MemoryLevel("L1", 1024, 60.0)
+        assert lv.bytes_per_cycle(1.0) == 60.0
+        assert lv.bytes_per_cycle(2.0) == 30.0
+
+    def test_with_override(self):
+        lv = MemoryLevel("L1", 1024, 60.0)
+        lv2 = lv.with_(bandwidth_gbs=120.0)
+        assert lv2.bandwidth_gbs == 120.0
+        assert lv.bandwidth_gbs == 60.0
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ArchitectureError):
+            MemoryLevel("L1", 0, 60.0)
+        with pytest.raises(ArchitectureError):
+            MemoryLevel("L1", 1024, -1.0)
+        with pytest.raises(ArchitectureError):
+            MemoryLevel("", 1024, 60.0)
+
+    def test_write_energy_defaults_to_read(self):
+        lv = MemoryLevel("L1", 1024, 60.0, read_energy_pj=2.0)
+        assert lv.write_energy_pj == 2.0
+
+
+class TestArchitecture:
+    def test_level_lookup(self):
+        spec = edge()
+        assert spec.level_index("DRAM") == spec.dram_index
+        assert spec.level(0).name == "Reg"
+        with pytest.raises(ArchitectureError):
+            spec.level_index("L9")
+
+    def test_outermost_must_be_unbounded(self):
+        with pytest.raises(ArchitectureError):
+            Architecture("bad", (MemoryLevel("Reg", 64, 10.0),
+                                 MemoryLevel("L1", 64, 10.0)),
+                         pe_count=4)
+
+    def test_fanout_monotonicity(self):
+        with pytest.raises(ArchitectureError):
+            Architecture("bad",
+                         (MemoryLevel("Reg", 64, 10.0, fanout=1),
+                          MemoryLevel("DRAM", None, 10.0, fanout=2)),
+                         pe_count=4)
+
+    def test_with_level(self):
+        spec = edge().with_level("L1", capacity_bytes=1024)
+        assert spec.level(spec.level_index("L1")).capacity_bytes == 1024
+
+    def test_with_pe_override(self):
+        assert edge().with_(pe_count=64).pe_count == 64
+
+    def test_compute_units_by_kind(self):
+        spec = validation_accelerator()
+        assert spec.compute_units("mac") == spec.pe_count
+        assert spec.compute_units("exp") == spec.vector_pe_count
+        assert spec.vector_pe_count < spec.pe_count
+
+    def test_on_chip_levels_exclude_dram(self):
+        spec = cloud()
+        assert all(lv.capacity_bytes is not None
+                   for lv in spec.on_chip_levels())
+
+
+class TestPresets:
+    def test_edge_matches_table4(self):
+        spec = edge()
+        assert spec.pe_count == 32 * 32
+        assert spec.level(spec.level_index("L1")).capacity_bytes == \
+            4 * 1024 * 1024
+        assert spec.dram.bandwidth_gbs == 60.0
+
+    def test_cloud_matches_table4(self):
+        spec = cloud()
+        assert spec.pe_count == 256 * 256
+        assert spec.level(spec.level_index("L2")).fanout == 4
+        assert spec.level(spec.level_index("L1")).fanout == 64
+        assert spec.dram.bandwidth_gbs == 384.0
+
+    def test_validation_accelerator(self):
+        spec = validation_accelerator()
+        assert spec.frequency_ghz == 0.4
+        assert spec.vector_pe_count == 4 * 16 * 3
+        assert spec.dram.bandwidth_gbs == 25.6
+
+    def test_gpu_like_has_l2(self):
+        spec = gpu_like()
+        assert spec.num_levels == 4
+
+    def test_by_name(self):
+        assert by_name("edge").name == "Edge"
+        with pytest.raises(KeyError):
+            by_name("tpu-v9")
+
+
+class TestEnergyModel:
+    def test_sram_scaling_is_monotonic(self):
+        assert (sram_access_energy_pj(1024 * 1024)
+                > sram_access_energy_pj(32 * 1024))
+
+    def test_sqrt_scaling(self):
+        small = sram_access_energy_pj(32 * 1024)
+        large = sram_access_energy_pj(4 * 32 * 1024)
+        assert large == pytest.approx(2 * small)
+
+    def test_level_energy_dispatch(self):
+        assert level_energy_pj("DRAM", None) > \
+            level_energy_pj("L1", 1024 * 1024)
+        assert level_energy_pj("Reg", 1024) < 1.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            sram_access_energy_pj(0)

@@ -1,0 +1,86 @@
+"""Unit tests for the polyhedron and graph-based baseline models."""
+
+import pytest
+
+from repro.arch import validation_accelerator
+from repro.baselines import (GraphBasedModel, MappingLoop,
+                             PolyhedronMapping, PolyhedronModel)
+from repro.errors import MappingError
+from repro.workloads import matmul, self_attention
+
+
+def _mapping(m=64):
+    return PolyhedronMapping(levels=[
+        [MappingLoop("i", 4, spatial=True), MappingLoop("i", m // 32),
+         MappingLoop("j", m // 8), MappingLoop("k", m // 8)],
+        [MappingLoop("k", 8), MappingLoop("i", 8, spatial=True),
+         MappingLoop("j", 8, spatial=True)],
+    ])
+
+
+class TestPolyhedronMapping:
+    def test_validate_coverage(self):
+        wl = matmul(64, 64, 64)
+        _mapping().validate(wl.operators[0])
+
+    def test_validate_rejects_bad_coverage(self):
+        wl = matmul(128, 64, 64)
+        with pytest.raises(MappingError):
+            _mapping().validate(wl.operators[0])
+
+    def test_coverage_below_includes_level_spatial(self):
+        cov = _mapping().coverage_below(1)
+        assert cov["i"] == 8 and cov["j"] == 8
+        assert "k" not in cov or cov.get("k", 1) == 1
+
+    def test_spatial_size(self):
+        assert _mapping().spatial_size() == 4 * 64
+
+
+class TestPolyhedronModel:
+    def test_rejects_multi_operator(self):
+        wl = self_attention(1, 16, 32, expand_softmax=False)
+        with pytest.raises(MappingError):
+            PolyhedronModel(validation_accelerator()).evaluate(
+                wl, _mapping())
+
+    def test_basic_evaluation(self):
+        wl = matmul(64, 64, 64)
+        res = PolyhedronModel(validation_accelerator()).evaluate(
+            wl, _mapping())
+        assert res.cycles > 0 and res.energy_pj > 0
+        # compute floor: 64^3 / (4*64 lanes)
+        assert res.compute_cycles == pytest.approx(64 ** 3 / 256)
+
+    def test_inputs_loaded_at_least_once(self):
+        wl = matmul(64, 64, 64)
+        res = PolyhedronModel(validation_accelerator()).evaluate(
+            wl, _mapping())
+        l1 = res.traffic_words[validation_accelerator().dram_index - 1]
+        assert l1["A"] >= 64 * 64
+        assert l1["B"] >= 64 * 64
+
+    def test_wrong_level_count_rejected(self):
+        wl = matmul(64, 64, 64)
+        bad = PolyhedronMapping(levels=[_mapping().levels[0]])
+        with pytest.raises(MappingError):
+            PolyhedronModel(validation_accelerator()).evaluate(wl, bad)
+
+
+class TestGraphBased:
+    def test_strips_intermediate_transfers(self):
+        wl = self_attention(2, 64, 128, expand_softmax=False)
+        gb = GraphBasedModel(validation_accelerator())
+        res = gb.evaluate(wl)
+        assert res.stripped_cycles > 0
+        assert res.cycles > 0
+
+    def test_unsupported_workload(self):
+        from repro.ir import Operator, Tensor, Workload, simple_access
+        a = Tensor("A", (4,))
+        b = Tensor("B", (4,))
+        op = Operator("solo", {"i": 4}, [simple_access(a, "i")],
+                      simple_access(b, "i"))
+        with pytest.raises(MappingError):
+            GraphBasedModel(validation_accelerator()).evaluate(
+                Workload("solo", [op]))

@@ -1,0 +1,66 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_evaluate_defaults(self):
+        args = build_parser().parse_args(["evaluate", "Bert-S",
+                                          "tileflow"])
+        assert args.arch == "edge"
+        assert not args.show_tree
+
+
+class TestCommands:
+    def test_evaluate_attention(self, capsys):
+        assert main(["evaluate", "Bert-S", "flat_rgran"]) == 0
+        out = capsys.readouterr().out
+        assert "latency" in out
+
+    def test_evaluate_conv_with_tree(self, capsys):
+        assert main(["evaluate", "CC3", "fused_layer", "--arch", "cloud",
+                     "--show-tree", "--show-notation"]) == 0
+        out = capsys.readouterr().out
+        assert "fused_layer" in out and "level" in out
+
+    def test_compare(self, capsys):
+        assert main(["compare", "ViT/16-B"]) == 0
+        out = capsys.readouterr().out
+        assert "tileflow" in out and "speedup" in out
+
+    def test_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "GPT-7", "tileflow"])
+
+    def test_search_small(self, capsys):
+        assert main(["search", "ViT/16-B", "--generations", "2",
+                     "--population", "4", "--samples", "5"]) == 0
+        assert "best ordering/binding" in capsys.readouterr().out
+
+    def test_experiment_tab6(self, capsys):
+        assert main(["experiment", "tab6"]) == 0
+        assert "Table 6" in capsys.readouterr().out
+
+    def test_experiment_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_validate_small(self, capsys):
+        assert main(["validate", "--mappings", "40"]) == 0
+        assert "Figure 8" in capsys.readouterr().out
+
+
+class TestJsonOutput:
+    def test_evaluate_json(self, capsys):
+        import json
+        assert main(["evaluate", "Bert-S", "tileflow", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["arch"] == "Edge"
+        assert payload["latency_cycles"] > 0
+        assert "traffic" in payload and "violations" in payload

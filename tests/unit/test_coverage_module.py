@@ -1,0 +1,50 @@
+"""Unit tests for dimension-coverage computation."""
+
+import pytest
+
+from repro.tile import apply_loops, op_coverage_below, temporal, spatial
+from repro.tile.coverage import _find_leaf
+from repro.tile.tree import OpTile
+from repro.workloads import conv_chain, matmul
+
+
+class TestApplyLoops:
+    def test_basic_extension(self):
+        cov = apply_loops({"i": 4}, [temporal("i", 3, 4)])
+        assert cov["i"] == 12  # 2*4 + 4
+
+    def test_overlapping_steps(self):
+        # step smaller than inner coverage: overlapping tiles
+        cov = apply_loops({"i": 4}, [temporal("i", 3, 2)])
+        assert cov["i"] == 8  # 2*2 + 4
+
+    def test_dim_filter(self):
+        cov = apply_loops({"i": 1}, [temporal("j", 5)], dims=["i"])
+        assert "j" not in cov
+
+    def test_order_inner_to_outer(self):
+        cov = apply_loops({}, [temporal("i", 2, 8), temporal("i", 8, 1)])
+        assert cov["i"] == 16
+
+
+class TestOpCoverage:
+    def test_halo_over_coverage(self):
+        wl = conv_chain(8, 16, 16, 8, 8)
+        conv1 = wl.operator("conv1")
+        # leaf covering 6 rows stepped by 4 -> overlap
+        leaf = OpTile(conv1, [temporal("p", 6), temporal("q", 16),
+                              temporal("c1", 8), temporal("r", 3),
+                              temporal("s", 3), temporal("c0", 8)],
+                      level=0)
+        top = OpTile(conv1, [temporal("p", 4, 4)], level=1, child=leaf)
+        cov = op_coverage_below(top, conv1)
+        assert cov["p"] == 3 * 4 + 6  # 18 >= 16: halo over-coverage
+
+    def test_find_leaf_missing(self):
+        wl = matmul(8, 8, 8)
+        other = conv_chain(8, 16, 16, 8, 8).operator("conv1")
+        leaf = OpTile(wl.operators[0],
+                      [temporal(d, n) for d, n in
+                       wl.operators[0].dims.items()], level=0)
+        with pytest.raises(ValueError):
+            _find_leaf(leaf, other)

@@ -1,0 +1,191 @@
+"""Unit tests for the named dataflow templates."""
+
+import pytest
+
+from repro import arch
+from repro.analysis import TileFlowModel
+from repro.dataflows import (ATTENTION_DATAFLOWS, CONV_DATAFLOWS,
+                             attention_dataflow, attention_factor_space,
+                             conv_dataflow, conv_factor_space, divisors,
+                             fit_rect, floor_divisor, near_divisor,
+                             near_tile, tile_choices)
+from repro.errors import MappingError
+from repro.tile import check_tree
+from repro.workloads import conv_chain, self_attention
+
+
+class TestBuilderHelpers:
+    def test_divisors(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+        assert divisors(1) == [1]
+        with pytest.raises(ValueError):
+            divisors(0)
+
+    def test_near_divisor(self):
+        assert near_divisor(12, 5) == 6
+        assert near_divisor(196, 16) == 14
+        assert near_divisor(7, 3) == 1  # |1-3|=2 < |7-3|=4
+
+    def test_floor_divisor(self):
+        assert floor_divisor(12, 5) == 4
+        assert floor_divisor(7, 4) == 1
+        assert floor_divisor(12, 100) == 12
+
+    def test_tile_choices(self):
+        assert tile_choices(12, 2) == [2, 4, 6, 12]
+        assert tile_choices(7, 3) == [7]  # fallback to full dim
+
+    def test_near_tile(self):
+        assert near_tile(196, 14, 56) == 28
+
+    def test_fit_rect(self):
+        a, b = fit_rect(56, 128, 1024)
+        assert a * b <= 1024
+        assert a * b == 1024  # achievable exactly
+        a, b = fit_rect(227, 64, 1024)
+        assert 227 % a == 0 and 64 % b == 0
+
+
+@pytest.fixture(scope="module")
+def attn():
+    return self_attention(8, 512, 512, expand_softmax=True, name="Bert-S")
+
+
+@pytest.fixture(scope="module")
+def attn_compact():
+    return self_attention(8, 512, 512, expand_softmax=False)
+
+
+@pytest.fixture(scope="module")
+def chain():
+    return conv_chain(32, 56, 56, 64, 64, name="cc")
+
+
+class TestAttentionTemplates:
+    @pytest.mark.parametrize("name", sorted(ATTENTION_DATAFLOWS))
+    @pytest.mark.parametrize("spec_name", ["edge", "cloud"])
+    def test_builds_valid_tree(self, attn, name, spec_name):
+        spec = arch.by_name(spec_name)
+        tree = attention_dataflow(name, attn, spec)
+        assert check_tree(tree) == []
+
+    @pytest.mark.parametrize("name", sorted(ATTENTION_DATAFLOWS))
+    def test_compact_form_supported(self, attn_compact, name):
+        tree = attention_dataflow(name, attn_compact, arch.edge())
+        assert check_tree(tree) == []
+
+    def test_unknown_name_raises(self, attn):
+        with pytest.raises(MappingError):
+            attention_dataflow("nope", attn, arch.edge())
+
+    def test_layerwise_intermediates_at_dram(self, attn):
+        tree = attention_dataflow("layerwise", attn, arch.edge())
+        home = tree.tensor_home("S")
+        assert home is tree.root
+        assert tree.root.level == arch.edge().dram_index
+
+    def test_fused_intermediates_on_chip(self, attn):
+        tree = attention_dataflow("flat_rgran", attn, arch.edge())
+        home = tree.tensor_home("S")
+        assert home is not None
+        assert home.level < arch.edge().dram_index
+
+    def test_factor_space_nonempty(self, attn):
+        space = attention_factor_space("tileflow", attn)
+        assert "m_tile" in space and "l_tile" in space
+        assert all(space["m_tile"])
+
+    def test_factors_respected(self, attn):
+        spec = arch.edge()
+        t1 = attention_dataflow("flat_rgran", attn, spec, {"m_tile": 64})
+        t2 = attention_dataflow("flat_rgran", attn, spec, {"m_tile": 256})
+        model = TileFlowModel(spec)
+        r1, r2 = model.evaluate(t1), model.evaluate(t2)
+        assert (r1.resources.footprint_bytes[1]
+                != r2.resources.footprint_bytes[1])
+
+    def test_fusion_reduces_dram(self, attn):
+        spec = arch.edge()
+        model = TileFlowModel(spec)
+        lw = model.evaluate(attention_dataflow("layerwise", attn, spec))
+        fused = model.evaluate(attention_dataflow("flat_rgran", attn, spec))
+        assert fused.dram_words() < 0.3 * lw.dram_words()
+
+    def test_tileflow_fastest_on_edge(self, attn):
+        spec = arch.edge()
+        model = TileFlowModel(spec)
+        cycles = {n: model.evaluate(attention_dataflow(n, attn, spec))
+                  .latency_cycles for n in ATTENTION_DATAFLOWS}
+        assert cycles["tileflow"] == min(cycles.values())
+
+
+class TestConvTemplates:
+    @pytest.mark.parametrize("name", sorted(CONV_DATAFLOWS))
+    @pytest.mark.parametrize("spec_name", ["edge", "cloud"])
+    def test_builds_valid_tree(self, chain, name, spec_name):
+        spec = arch.by_name(spec_name)
+        tree = conv_dataflow(name, chain, spec)
+        assert check_tree(tree) == []
+
+    def test_unknown_name_raises(self, chain):
+        with pytest.raises(MappingError):
+            conv_dataflow("nope", chain, arch.edge())
+
+    def test_fused_act_stays_on_chip(self, chain):
+        spec = arch.cloud()
+        model = TileFlowModel(spec)
+        fl = model.evaluate(conv_dataflow("fused_layer", chain, spec))
+        dram = fl.traffic[spec.dram_index]
+        assert dram.read.get("Act", 0) == 0
+        assert dram.update.get("Act", 0) == 0
+
+    def test_layerwise_act_through_dram(self, chain):
+        spec = arch.cloud()
+        model = TileFlowModel(spec)
+        lw = model.evaluate(conv_dataflow("layerwise", chain, spec))
+        dram = lw.traffic[spec.dram_index]
+        assert dram.read.get("Act", 0) > 0
+
+    def test_halo_recompute(self, chain):
+        """Fused producers over-compute the halo region."""
+        spec = arch.cloud()
+        tree = conv_dataflow("fused_layer", chain, spec)
+        conv1 = chain.operator("conv1")
+        executed = 0.0
+        for leaf in tree.root.leaves():
+            if leaf.op.name != "conv1":
+                continue
+            execs = 1.0
+            for a in leaf.ancestors():
+                execs *= a.trip_count
+            executed += leaf.trip_count * execs
+        assert executed > conv1.iteration_volume
+
+    def test_factor_spaces(self, chain):
+        assert "q_tile" in conv_factor_space("isos", chain)
+        assert "p_tile" in conv_factor_space("tileflow", chain)
+
+    def test_all_evaluate_without_error(self, chain):
+        for spec in (arch.edge(), arch.cloud()):
+            model = TileFlowModel(spec)
+            for name in CONV_DATAFLOWS:
+                r = model.evaluate(conv_dataflow(name, chain, spec))
+                assert r.latency_cycles > 0
+
+
+class TestTilingLoops:
+    def test_tiling_loops_shapes(self):
+        from repro.dataflows.builders import tiling_loops
+        loops = tiling_loops({"m": 64, "l": 32}, {"m": 16, "l": 32},
+                             order=("m", "l"), spatial_dims={"m": 2})
+        kinds = [(lp.dim, lp.count, lp.step, lp.spatial) for lp in loops]
+        assert ("m", 2, 32, True) in kinds
+        assert ("m", 2, 16, False) in kinds  # 32-block / 16-tile
+        # l covered in one tile -> no loop emitted
+        assert all(d != "l" for d, *_ in kinds)
+
+    def test_tiling_loops_rejects_nondividing(self):
+        from repro.dataflows.builders import tiling_loops
+        from repro.errors import MappingError
+        with pytest.raises(MappingError):
+            tiling_loops({"m": 64}, {"m": 7}, order=("m",))

@@ -1,0 +1,140 @@
+"""Unit tests for the tree-based data-movement engine (§5.1)."""
+
+import pytest
+
+from repro.analysis import DataMovementAnalysis, TileFlowModel
+from repro.arch import edge
+from repro.ir import Operator, Tensor, Workload, simple_access
+from repro.tile import (AnalysisTree, Binding, FusionNode, OpTile, spatial,
+                        temporal)
+from repro.tile.loops import auto_steps
+from repro.workloads import matmul, self_attention
+
+
+def _mm_tree(m=64, order=("i", "j", "k")):
+    wl = matmul(m, m, m)
+    op = wl.operators[0]
+    spec = [[(d, m // 8, False) for d in order],
+            [("k", 8, False), ("i", 8, True), ("j", 8, True)]]
+    lv = auto_steps(spec)
+    leaf = OpTile(op, lv[1], level=0)
+    top = OpTile(op, lv[0], level=1, child=leaf)
+    return wl, AnalysisTree(wl, top), op
+
+
+class TestSingleOperator:
+    def test_weight_style_reuse(self):
+        # With k innermost at L1, C stays put across k steps: its update
+        # traffic equals one full pass over C.
+        wl, tree, op = _mm_tree(order=("i", "j", "k"))
+        flows = DataMovementAnalysis(tree, edge()).run()
+        top = tree.root
+        assert flows.flows(top).updates["C"] == 64 * 64
+
+    def test_output_rmw_when_reduction_outer(self):
+        # k outermost at L1 wraps i/j between k steps, forcing partial-sum
+        # writeback and refetch of C.
+        wl, tree, op = _mm_tree(order=("k", "i", "j"))
+        flows = DataMovementAnalysis(tree, edge()).run()
+        top_flows = flows.flows(tree.root)
+        assert top_flows.updates["C"] > 64 * 64
+        assert top_flows.fills.get("C", 0) > 0
+
+    def test_input_volume_lower_bound(self):
+        wl, tree, op = _mm_tree()
+        flows = DataMovementAnalysis(tree, edge()).run()
+        top = flows.flows(tree.root)
+        # each input must be loaded at least once
+        assert top.fills["A"] >= 64 * 64
+        assert top.fills["B"] >= 64 * 64
+
+    def test_traffic_levels_consistent(self):
+        wl, tree, op = _mm_tree()
+        result = DataMovementAnalysis(tree, edge()).run()
+        spec = edge()
+        # reads at DRAM == fills at L1 (single chain, no fusion)
+        dram = result.traffic[spec.dram_index]
+        l1 = result.traffic[1]
+        assert dram.total("read") == pytest.approx(l1.total("fill"))
+
+    def test_compute_accesses_at_leaf_level(self):
+        wl, tree, op = _mm_tree()
+        result = DataMovementAnalysis(tree, edge()).run()
+        reg = result.traffic[0]
+        # two operand reads per MAC
+        assert reg.total("read") >= 2 * op.iteration_volume
+
+
+def _fused_pair(binding):
+    a = Tensor("A", (64,))
+    b = Tensor("B", (64,))
+    c = Tensor("C", (64,))
+    w = Tensor("W", (64,))
+    op1 = Operator("p", {"i": 64}, [simple_access(a, "i"),
+                                    simple_access(w, "i")],
+                   simple_access(b, "i"), kind="exp")
+    op2 = Operator("q", {"i": 64}, [simple_access(b, "i")],
+                   simple_access(c, "i"), kind="exp")
+    wl = Workload("w", [op1, op2])
+    c1 = OpTile(op1, [temporal("i", 8, 1)], level=0)
+    c2 = OpTile(op2, [temporal("i", 8, 1)], level=0)
+    root = FusionNode([temporal("i", 8, 8)], level=1,
+                      children=[c1, c2], binding=binding)
+    return wl, AnalysisTree(wl, root)
+
+
+class TestFusion:
+    def test_intermediate_never_reaches_dram(self):
+        wl, tree = _fused_pair(Binding.SHAR)
+        result = DataMovementAnalysis(tree, edge()).run()
+        dram = result.traffic[edge().dram_index]
+        assert "B" not in dram.read
+        assert "B" not in dram.update
+
+    def test_intermediate_counted_at_home_level(self):
+        wl, tree = _fused_pair(Binding.SHAR)
+        result = DataMovementAnalysis(tree, edge()).run()
+        l1 = result.traffic[1]
+        assert l1.update.get("B", 0) > 0   # producer writes B into L1
+        assert l1.read.get("B", 0) > 0     # consumer reads B from L1
+
+    def test_seq_evicts_unshared_tensors(self):
+        _, seq_tree = _fused_pair(Binding.SEQ)
+        _, shar_tree = _fused_pair(Binding.SHAR)
+        spec = edge()
+        seq = DataMovementAnalysis(seq_tree, spec).run()
+        shar = DataMovementAnalysis(shar_tree, spec).run()
+        # W is used only by op p; under Seq it is refetched per iteration.
+        dram = spec.dram_index
+        assert seq.traffic[dram].read.get("W", 0) >= \
+            shar.traffic[dram].read.get("W", 0)
+
+    def test_layerwise_routes_through_dram(self):
+        wl = self_attention(1, 32, 64, expand_softmax=False)
+        chains = []
+        for op in wl.operators:
+            loops = [temporal(d, n) for d, n in op.dims.items() if n > 1]
+            chains.append(OpTile(op, loops, level=1,
+                                 child=None))
+        # leafless chains at level 1 act as whole-op tiles
+        root = FusionNode([], level=edge().dram_index, children=chains,
+                          binding=Binding.SEQ)
+        tree = AnalysisTree(wl, root)
+        result = DataMovementAnalysis(tree, edge()).run()
+        dram = result.traffic[edge().dram_index]
+        assert dram.read.get("S", 0) > 0
+        assert dram.update.get("S", 0) > 0
+
+    def test_broadcast_spatial_not_multiplied(self):
+        # A spatial loop whose dim does not touch the tensor broadcasts.
+        wl = matmul(64, 64, 64)
+        op = wl.operators[0]
+        leaf = OpTile(op, [temporal("k", 64), spatial("i", 8), 
+                           spatial("j", 8)], level=0)
+        top = OpTile(op, [spatial("i", 2, 32), temporal("i", 4, 8),
+                          temporal("j", 8, 8)], level=1, child=leaf)
+        tree = AnalysisTree(wl, top)
+        result = DataMovementAnalysis(tree, edge()).run()
+        # B[k, j] is independent of i: the spatial i split broadcasts it.
+        b_fill = result.flows(top).fills["B"]
+        assert b_fill == pytest.approx(64 * 64 * 4)  # re-read per i tile

@@ -1,0 +1,67 @@
+"""Unit tests for the experiment-harness modules (reduced budgets)."""
+
+import pytest
+
+from repro import arch
+from repro.experiments.comparison import (ComparisonResult, DataflowRow,
+                                          attention_comparison,
+                                          format_dram_movement,
+                                          format_normalized_cycles,
+                                          format_onchip_movement,
+                                          format_utilization)
+from repro.experiments.gpu import GpuRow, format_gpu
+from repro.experiments.validation import (enumerate_matmul_mappings,
+                                          matmul_tree)
+from repro.workloads import matmul
+
+
+class TestMatmulEnumeration:
+    def test_count_and_uniqueness(self):
+        mappings = enumerate_matmul_mappings(limit=1152)
+        assert len(mappings) == 1152
+        labels = [m[0] for m in mappings]
+        assert len(set(labels)) == len(labels)
+
+    def test_every_mapping_valid_both_ways(self):
+        wl = matmul(256, 256, 256)
+        spec = arch.validation_accelerator()
+        for label, mapping, tree_spec in \
+                enumerate_matmul_mappings(limit=20):
+            mapping.validate(wl.operators[0])
+            tree = matmul_tree(wl, spec, tree_spec)
+            assert tree.root.level == 1
+
+
+class TestComparisonFormatting:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return attention_comparison(arch.edge(), shapes=("ViT/16-B",))
+
+    def test_speedups_baseline_is_one(self, result):
+        sp = result.speedups()
+        assert sp["ViT/16-B"]["layerwise"] == pytest.approx(1.0)
+
+    def test_formatters_produce_tables(self, result):
+        for fn, args in ((format_normalized_cycles, ("t",)),
+                         (format_dram_movement, ("t",)),
+                         (format_utilization, ("t",))):
+            text = fn(result, *args)
+            assert "ViT/16-B" in text
+        text = format_onchip_movement(result, 1, "t")
+        assert "layerwise" in text
+
+    def test_by_shape_grouping(self, result):
+        table = result.by_shape()
+        assert set(table) == {"ViT/16-B"}
+        assert "tileflow" in table["ViT/16-B"]
+
+
+class TestGpuFormatting:
+    def test_oom_cells(self):
+        rows = [GpuRow("T5", 1024, "baseline", 1.0, False),
+                GpuRow("T5", 4096, "baseline", None, True),
+                GpuRow("T5", 1024, "TileFlow", 0.5, False),
+                GpuRow("T5", 4096, "TileFlow", 2.0, False)]
+        text = format_gpu(rows)
+        assert "OOM" in text
+        assert "1k" in text and "4k" in text

@@ -1,0 +1,87 @@
+"""Unit tests for tiling loops and binding primitives."""
+
+import pytest
+
+from repro.errors import TreeValidationError
+from repro.tile import (PARA, PIPE, SEQ, SHAR, Binding, Loop, auto_steps,
+                        parse_binding, product_of_counts, spatial,
+                        split_spatial, temporal)
+
+
+class TestLoop:
+    def test_span(self):
+        assert Loop("i", 4, 16).span == 49
+        assert Loop("i", 1, 16).span == 1
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(TreeValidationError):
+            Loop("i", 0)
+        with pytest.raises(TreeValidationError):
+            Loop("i", 4, 0)
+        with pytest.raises(TreeValidationError):
+            Loop("", 4)
+
+    def test_helpers(self):
+        assert not temporal("i", 2).spatial
+        assert spatial("i", 2).spatial
+
+    def test_equality(self):
+        assert temporal("i", 2, 4) == Loop("i", 2, 4, False)
+        assert temporal("i", 2, 4) != spatial("i", 2, 4)
+
+    def test_product_and_split(self):
+        loops = [temporal("i", 2), spatial("j", 3), temporal("k", 5)]
+        assert product_of_counts(loops) == 30
+        t, s = split_spatial(loops)
+        assert [l.dim for l in t] == ["i", "k"]
+        assert [l.dim for l in s] == ["j"]
+
+
+class TestAutoSteps:
+    def test_single_level(self):
+        (level,) = auto_steps([[("i", 4, False)]])
+        assert level[0].step == 1
+
+    def test_two_levels_same_dim(self):
+        outer, inner = auto_steps([[("i", 4, False)], [("i", 8, False)]])
+        assert inner[0].step == 1
+        assert outer[0].step == 8
+
+    def test_mixed_dims(self):
+        outer, inner = auto_steps([
+            [("i", 2, False), ("j", 2, False)],
+            [("i", 3, True), ("j", 5, False)],
+        ])
+        steps = {(l.dim, l.spatial): l.step for l in outer}
+        assert steps[("i", False)] == 3
+        assert steps[("j", False)] == 5
+
+    def test_within_level_ordering(self):
+        (level,) = auto_steps([[("i", 2, False), ("i", 8, False)]])
+        assert level[0].step == 8  # outer loop steps over the inner
+        assert level[1].step == 1
+
+
+class TestBinding:
+    def test_aliases(self):
+        assert SEQ is Binding.SEQ and PIPE is Binding.PIPE
+        assert SHAR is Binding.SHAR and PARA is Binding.PARA
+
+    def test_shares_compute(self):
+        assert Binding.SEQ.shares_compute_in_time
+        assert Binding.SHAR.shares_compute_in_time
+        assert not Binding.PIPE.shares_compute_in_time
+
+    def test_residency(self):
+        assert not Binding.SEQ.keeps_data_resident
+        assert Binding.SHAR.keeps_data_resident
+
+    def test_concurrency(self):
+        assert Binding.PARA.is_concurrent and Binding.PIPE.is_concurrent
+        assert not Binding.SEQ.is_concurrent
+
+    def test_parse(self):
+        assert parse_binding("pipe") is Binding.PIPE
+        assert parse_binding(" Seq ") is Binding.SEQ
+        with pytest.raises(ValueError):
+            parse_binding("sometimes")

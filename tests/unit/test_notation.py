@@ -1,0 +1,92 @@
+"""Unit tests for the tile-centric notation renderer and parser."""
+
+import pytest
+
+from repro import arch
+from repro.analysis import TileFlowModel
+from repro.dataflows import ATTENTION_DATAFLOWS, CONV_DATAFLOWS
+from repro.errors import NotationError
+from repro.tile import parse_notation, render_notation
+from repro.workloads import conv_chain, self_attention
+
+
+@pytest.fixture(scope="module")
+def attn():
+    return self_attention(4, 128, 256, expand_softmax=True)
+
+
+@pytest.fixture(scope="module")
+def chain():
+    return conv_chain(16, 28, 28, 32, 32)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("name", sorted(ATTENTION_DATAFLOWS))
+    def test_attention_dataflows_round_trip(self, attn, name):
+        spec = arch.edge()
+        tree = ATTENTION_DATAFLOWS[name](attn, spec)
+        text = render_notation(tree)
+        rebuilt = parse_notation(text, attn)
+        model = TileFlowModel(spec)
+        r1 = model.evaluate(tree)
+        r2 = model.evaluate(rebuilt)
+        assert r1.latency_cycles == r2.latency_cycles
+        assert r1.energy_pj == r2.energy_pj
+        assert r1.dram_words() == r2.dram_words()
+
+    @pytest.mark.parametrize("name", sorted(CONV_DATAFLOWS))
+    def test_conv_dataflows_round_trip(self, chain, name):
+        spec = arch.cloud()
+        tree = CONV_DATAFLOWS[name](chain, spec)
+        rebuilt = parse_notation(render_notation(tree), chain)
+        model = TileFlowModel(spec)
+        assert (model.evaluate(tree).latency_cycles
+                == model.evaluate(rebuilt).latency_cycles)
+
+    def test_render_is_stable_after_round_trip(self, attn):
+        spec = arch.edge()
+        tree = ATTENTION_DATAFLOWS["chimera"](attn, spec)
+        text1 = render_notation(tree)
+        text2 = render_notation(parse_notation(text1, attn))
+        # tree names may differ; the structural body must not.
+        assert text1.split("\n", 1)[1] == text2.split("\n", 1)[1]
+
+
+class TestParserErrors:
+    def test_empty_input(self, attn):
+        with pytest.raises(NotationError):
+            parse_notation("", attn)
+
+    def test_garbage_tile_line(self, attn):
+        with pytest.raises(NotationError):
+            parse_notation("level 1:\n  T1^0 == oops", attn)
+
+    def test_bad_loop_syntax(self, attn):
+        with pytest.raises(NotationError):
+            parse_notation("level 0:\n  T0^0 = {m:x}<qk>", attn)
+
+    def test_multiple_roots_rejected(self, attn):
+        text = ("level 0:\n  T0^0 = {m:128, l:128, k:64, b:4, h:1}<qk>\n"
+                "  T0^1 = {m:128, l:128, b:4, h:1}<smax_max>")
+        with pytest.raises(NotationError):
+            parse_notation(text, attn)
+
+    def test_unknown_operator(self, attn):
+        from repro.errors import WorkloadError
+        text = "level 0:\n  T0^0 = {m:4}<mystery>"
+        with pytest.raises(WorkloadError):
+            parse_notation(text, attn)
+
+
+class TestHandWrittenNotation:
+    def test_manual_single_tile(self):
+        from repro.workloads import matmul
+        wl = matmul(64, 64, 64)
+        text = ("level 1:\n"
+                "  T1^0 = {i:8*8, j:8*8, k:8*8}(T0^0)\n"
+                "level 0:\n"
+                "  T0^0 = {k:8, i':8, j':8}<mm>\n")
+        tree = parse_notation(text, wl)
+        r = TileFlowModel(arch.edge()).evaluate(tree)
+        assert r.latency_cycles > 0
+        assert r.resources.num_pe == 64

@@ -1,0 +1,106 @@
+"""Unit tests for reporting helpers and result containers."""
+
+import pytest
+
+from repro.analysis import EvaluationResult, LevelTraffic, ResourceUsage
+from repro.experiments.report import (format_table, geomean, mean_abs_error,
+                                      normalize, r_squared)
+
+
+class TestLevelTraffic:
+    def test_add_and_totals(self):
+        lt = LevelTraffic()
+        lt.add("fill", "A", 10)
+        lt.add("fill", "A", 5)
+        lt.add("read", "B", 2)
+        assert lt.total("fill") == 15
+        assert lt.total_words == 17
+        assert lt.breakdown()["read"] == 2
+
+
+class TestEvaluationResult:
+    def _result(self, violations=()):
+        traffic = {0: LevelTraffic(), 2: LevelTraffic()}
+        traffic[2].add("read", "A", 100)
+        traffic[2].add("update", "C", 50)
+        return EvaluationResult(
+            tree_name="t", arch_name="a", latency_cycles=1000,
+            energy_pj=5.0, total_ops=500, traffic=traffic,
+            resources=ResourceUsage(num_pe=10),
+            violations=list(violations))
+
+    def test_dram_words(self):
+        assert self._result().dram_words() == 150
+
+    def test_feasible(self):
+        assert self._result().feasible
+        assert not self._result(["memory: boom"]).feasible
+
+    def test_utilization(self):
+        r = self._result()
+        assert r.utilization == pytest.approx(500 / (1000 * 10))
+
+    def test_summary_mentions_violations(self):
+        assert "VIOLATIONS" in self._result(["x"]).summary()
+
+
+class TestReportHelpers:
+    def test_geomean(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+
+    def test_normalize(self):
+        out = normalize({"a": 2.0, "b": 4.0}, "a")
+        assert out == {"a": 1.0, "b": 2.0}
+
+    def test_r_squared_perfect(self):
+        assert r_squared([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_r_squared_uncorrelated(self):
+        assert r_squared([1, 2, 1, 2], [1, 1, 1, 1]) == 0.0
+
+    def test_r_squared_needs_data(self):
+        with pytest.raises(ValueError):
+            r_squared([1], [1])
+
+    def test_mean_abs_error(self):
+        assert mean_abs_error([10, 10], [9, 11]) == pytest.approx(0.1)
+        with pytest.raises(ValueError):
+            mean_abs_error([], [])
+
+    def test_format_table(self):
+        text = format_table("T", ["a", "bb"], [[1, 2.5], ["x", "y"]])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "bb" in lines[1]
+        assert len(lines) == 5
+
+
+class TestCostFunctions:
+    def test_latency_cost_modes(self):
+        from repro.mapper import latency_cost, INFEASIBLE
+        r = EvaluationResult(
+            tree_name="t", arch_name="a", latency_cycles=10,
+            energy_pj=1, total_ops=1, traffic={},
+            resources=ResourceUsage(),
+            violations=["memory: too big"])
+        assert latency_cost(r, respect_memory=True) == INFEASIBLE
+        assert latency_cost(r, respect_memory=False) == 10
+        r.violations = ["compute: too many"]
+        assert latency_cost(r, respect_memory=False) == INFEASIBLE
+
+
+class TestToDict:
+    def test_round_trips_through_json(self):
+        import json
+        from repro import arch
+        from repro.analysis import TileFlowModel
+        from repro.dataflows import attention_dataflow
+        from repro.workloads import self_attention
+        wl = self_attention(2, 64, 128, expand_softmax=False)
+        spec = arch.edge()
+        result = TileFlowModel(spec).evaluate(
+            attention_dataflow("chimera", wl, spec))
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["latency_cycles"] == result.latency_cycles
+        assert payload["dram_words"] == result.dram_words()

@@ -1,0 +1,128 @@
+"""Unit tests for tensors and operators."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.ir import (Operator, Tensor, TensorAccess, dim, simple_access)
+
+
+class TestTensor:
+    def test_basic(self):
+        t = Tensor("A", (4, 8))
+        assert t.rank == 2
+        assert t.volume == 32
+        assert t.bytes == 64  # default 2-byte words
+
+    def test_word_bytes(self):
+        assert Tensor("A", (4,), word_bytes=4).bytes == 16
+
+    def test_rejects_empty_shape(self):
+        with pytest.raises(WorkloadError):
+            Tensor("A", ())
+
+    def test_rejects_nonpositive_extent(self):
+        with pytest.raises(WorkloadError):
+            Tensor("A", (4, 0))
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(WorkloadError):
+            Tensor("", (4,))
+
+    def test_equality_and_hash(self):
+        assert Tensor("A", (4,)) == Tensor("A", (4,))
+        assert Tensor("A", (4,)) != Tensor("A", (8,))
+        assert len({Tensor("A", (4,)), Tensor("A", (4,))}) == 1
+
+
+class TestTensorAccess:
+    def test_rank_check(self):
+        t = Tensor("A", (4, 4))
+        with pytest.raises(WorkloadError):
+            TensorAccess(t, (dim("i"),))
+
+    def test_extents_over(self):
+        t = Tensor("A", (8, 8))
+        a = TensorAccess(t, (dim("i"), dim("j") + dim("k")))
+        assert a.extents_over({"i": 4, "j": 3, "k": 2}) == (4, 4)
+
+    def test_footprint(self):
+        t = Tensor("A", (8, 8))
+        a = simple_access(t, "i", "j")
+        assert a.footprint_over({"i": 2, "j": 3}) == 6
+
+    def test_displacement(self):
+        t = Tensor("A", (8, 8))
+        a = TensorAccess(t, (dim("i"), dim("j") + dim("k")))
+        assert a.displacement({"j": 2}) == (0, 2)
+
+
+def _matmul_op(m=4, n=4, k=4):
+    a = Tensor("A", (m, k))
+    b = Tensor("B", (k, n))
+    c = Tensor("C", (m, n))
+    return Operator("mm", {"i": m, "j": n, "k": k},
+                    [simple_access(a, "i", "k"),
+                     simple_access(b, "k", "j")],
+                    simple_access(c, "i", "j"))
+
+
+class TestOperator:
+    def test_reduction_inference(self):
+        op = _matmul_op()
+        assert op.reduction_dims == frozenset({"k"})
+
+    def test_iteration_volume(self):
+        assert _matmul_op(2, 3, 4).iteration_volume == 24
+
+    def test_total_ops(self):
+        assert _matmul_op(2, 2, 2).total_ops == 8.0
+
+    def test_access_lookup(self):
+        op = _matmul_op()
+        assert op.access("A").tensor.name == "A"
+        assert op.access("C").tensor.name == "C"
+        with pytest.raises(WorkloadError):
+            op.access("Z")
+
+    def test_uses(self):
+        op = _matmul_op()
+        assert op.uses("A") and op.uses("C")
+        assert not op.uses("Z")
+
+    def test_tensors_ordering(self):
+        names = [t.name for t in _matmul_op().tensors()]
+        assert names == ["A", "B", "C"]
+
+    def test_rejects_undeclared_dim(self):
+        a = Tensor("A", (4,))
+        with pytest.raises(WorkloadError):
+            Operator("bad", {"i": 4}, [simple_access(a, "z")],
+                     simple_access(a, "i"))
+
+    def test_rejects_out_of_bounds_access(self):
+        a = Tensor("A", (2,))
+        with pytest.raises(WorkloadError):
+            Operator("bad", {"i": 4}, [], simple_access(a, "i"))
+
+    def test_rejects_zero_dim(self):
+        a = Tensor("A", (4,))
+        with pytest.raises(WorkloadError):
+            Operator("bad", {"i": 0}, [], simple_access(a, "i"))
+
+    def test_explicit_reduction_dims_validated(self):
+        a = Tensor("A", (4,))
+        with pytest.raises(WorkloadError):
+            Operator("bad", {"i": 4}, [], simple_access(a, "i"),
+                     reduction_dims=["z"])
+
+    def test_is_reduction(self):
+        op = _matmul_op()
+        assert op.is_reduction("k")
+        assert not op.is_reduction("i")
+
+    def test_ops_per_point(self):
+        a = Tensor("A", (4,))
+        op = Operator("soft", {"i": 4}, [simple_access(a, "i")],
+                      simple_access(a, "i"), ops_per_point=5.0,
+                      kind="softmax")
+        assert op.total_ops == 20.0

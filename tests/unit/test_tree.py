@@ -1,0 +1,122 @@
+"""Unit tests for analysis-tree structure."""
+
+import pytest
+
+from repro.errors import TreeValidationError
+from repro.tile import (AnalysisTree, Binding, FusionNode, OpTile,
+                        op_coverage_below, render_notation, spatial,
+                        temporal)
+from repro.workloads import self_attention, matmul
+
+
+def _mm_tree(m=64):
+    wl = matmul(m, m, m)
+    op = wl.operators[0]
+    leaf = OpTile(op, [temporal("k", m), spatial("i", 8), spatial("j", 8)],
+                  level=0)
+    top = OpTile(op, [temporal("i", m // 8, 8), temporal("j", m // 8, 8)],
+                 level=1, child=leaf)
+    return wl, AnalysisTree(wl, top)
+
+
+def _fused_tree():
+    wl = self_attention(1, 16, 32, expand_softmax=False)
+    chains = []
+    for op in wl.operators:
+        loops = [temporal(d, n) for d, n in op.dims.items() if n > 1]
+        chains.append(OpTile(op, loops, level=0))
+    root = FusionNode([], level=1, children=chains, binding=Binding.SHAR)
+    return wl, AnalysisTree(wl, root)
+
+
+class TestStructure:
+    def test_walk_and_leaves(self):
+        wl, tree = _mm_tree()
+        nodes = list(tree.nodes())
+        assert len(nodes) == 2
+        assert len(list(tree.root.leaves())) == 1
+
+    def test_parents_and_ancestors(self):
+        wl, tree = _mm_tree()
+        leaf = tree.leaf("mm")
+        assert leaf.parent is tree.root
+        assert list(leaf.ancestors()) == [tree.root]
+
+    def test_trip_counts(self):
+        wl, tree = _mm_tree(64)
+        leaf = tree.leaf("mm")
+        assert leaf.temporal_trip_count == 64
+        assert leaf.spatial_trip_count == 64
+        assert tree.root.trip_count == 64
+
+    def test_missing_leaf_rejected(self):
+        wl = self_attention(1, 16, 32, expand_softmax=False)
+        op = wl.operators[0]
+        lonely = OpTile(op, [temporal(d, n) for d, n in op.dims.items()],
+                        level=0)
+        with pytest.raises(TreeValidationError):
+            AnalysisTree(wl, lonely)
+
+    def test_single_parent_enforced(self):
+        wl, tree = _mm_tree()
+        leaf = tree.leaf("mm")
+        with pytest.raises(TreeValidationError):
+            OpTile(wl.operators[0], [], level=1, child=leaf)
+
+    def test_op_tile_rejects_foreign_dim(self):
+        wl = matmul(8, 8, 8)
+        with pytest.raises(TreeValidationError):
+            OpTile(wl.operators[0], [temporal("zz", 2)], level=0)
+
+    def test_fusion_needs_children(self):
+        with pytest.raises(TreeValidationError):
+            FusionNode([], level=1, children=[])
+
+    def test_op_path(self):
+        wl, tree = _fused_tree()
+        path = tree.op_path("qk")
+        assert path[0] is tree.root
+        assert path[-1].op.name == "qk"
+
+
+class TestTensorHome:
+    def test_intermediate_home_is_fusion_node(self):
+        wl, tree = _fused_tree()
+        assert tree.tensor_home("S") is tree.root
+        assert tree.tensor_home("L") is tree.root
+
+    def test_external_tensors_have_no_home(self):
+        wl, tree = _fused_tree()
+        assert tree.tensor_home("Q") is None
+        assert tree.tensor_home("A") is None
+
+
+class TestRendering:
+    def test_render_contains_labels(self):
+        wl, tree = _fused_tree()
+        text = tree.render()
+        assert "qk" in text and "Shar" in text
+
+    def test_notation_lists_levels_and_bindings(self):
+        wl, tree = _fused_tree()
+        text = render_notation(tree)
+        assert "level 1:" in text
+        assert "Shar(" in text
+
+    def test_notation_marks_spatial(self):
+        wl, tree = _mm_tree()
+        text = render_notation(tree)
+        assert "'" in text  # spatial prime markers
+
+
+class TestCoverage:
+    def test_full_coverage(self):
+        wl, tree = _mm_tree(64)
+        cov = op_coverage_below(tree.root, wl.operators[0])
+        assert cov == {"i": 64, "j": 64, "k": 64}
+
+    def test_partial_coverage_below_leaf(self):
+        wl, tree = _mm_tree(64)
+        leaf = tree.leaf("mm")
+        cov = op_coverage_below(leaf, wl.operators[0])
+        assert cov == {"i": 8, "j": 8, "k": 64}

@@ -1,0 +1,154 @@
+"""Unit tests for structural tree validation (§4.1 rules)."""
+
+import pytest
+
+from repro.errors import TreeValidationError
+from repro.ir import Operator, Tensor, Workload, simple_access
+from repro.tile import (AnalysisTree, Binding, FusionNode, OpTile,
+                        check_tree, temporal, validate_tree)
+
+
+def _two_op_chain(kind1="mac"):
+    a = Tensor("A", (8, 8))
+    b = Tensor("B", (8, 8))
+    c = Tensor("C", (8,))
+    op1 = Operator("p", {"i": 8, "k": 8}, [simple_access(a, "i", "k")],
+                   simple_access(b, "i", "k"), kind=kind1)
+    op2 = Operator("q", {"i": 8, "k": 8}, [simple_access(b, "i", "k")],
+                   simple_access(c, "i"), kind="sum"
+                   if kind1 == "sum" else "mac")
+    return Workload("w", [op1, op2])
+
+
+def _leaf(op):
+    return OpTile(op, [temporal(d, n) for d, n in op.dims.items()], level=0)
+
+
+class TestLevelAndChainRules:
+    def test_level_must_not_increase(self):
+        wl = _two_op_chain()
+        leaf = _leaf(wl.operators[0])
+        top = OpTile(wl.operators[0], [], level=0)
+        # manually attach a deeper-level child
+        leaf.level = 2
+        top.child = leaf
+        leaf.parent = top
+        leaf2 = _leaf(wl.operators[1])
+        root = FusionNode([], level=3, children=[top, leaf2])
+        tree = AnalysisTree(wl, root)
+        assert any("level increases" in p for p in check_tree(tree))
+
+    def test_chain_must_keep_operator(self):
+        wl = _two_op_chain()
+        leaf = _leaf(wl.operators[1])
+        top = OpTile(wl.operators[0], [], level=1)
+        top.child = leaf
+        leaf.parent = top
+        root = FusionNode([], level=2,
+                          children=[top, _leaf(wl.operators[0])])
+        tree = AnalysisTree(wl, root)
+        assert any("switches operator" in p for p in check_tree(tree))
+
+
+class TestCoverageRule:
+    def test_under_coverage_detected(self):
+        wl = _two_op_chain()
+        small = OpTile(wl.operators[0], [temporal("i", 2)], level=0)
+        full = _leaf(wl.operators[1])
+        root = FusionNode([], level=1, children=[small, full])
+        tree = AnalysisTree(wl, root)
+        problems = check_tree(tree)
+        assert any("covered" in p for p in problems)
+        with pytest.raises(TreeValidationError):
+            validate_tree(tree)
+
+    def test_over_coverage_is_legal(self):
+        wl = _two_op_chain()
+        over = OpTile(wl.operators[0],
+                      [temporal("i", 10), temporal("k", 8)], level=0)
+        root = FusionNode([], level=1,
+                          children=[over, _leaf(wl.operators[1])])
+        assert check_tree(AnalysisTree(wl, root)) == []
+
+
+class TestReductionRule:
+    def test_producer_reduction_loop_above_fusion_rejected(self):
+        wl = _two_op_chain()  # op q reduces over k and is last -> fine
+        # make op p a reducing producer: use its own k as fused loop
+        a = Tensor("A", (8, 8))
+        b = Tensor("B", (8,))
+        c = Tensor("C", (8,))
+        producer = Operator("p", {"i": 8, "k": 8},
+                            [simple_access(a, "i", "k")],
+                            simple_access(b, "i"), kind="mac")
+        consumer = Operator("q", {"i": 8}, [simple_access(b, "i")],
+                            simple_access(c, "i"), kind="exp")
+        wl = Workload("w", [producer, consumer])
+        root = FusionNode([temporal("k", 8)], level=1,
+                          children=[OpTile(producer, [temporal("i", 8)],
+                                           level=0),
+                                    _leaf(consumer)],
+                          binding=Binding.SHAR)
+        problems = check_tree(AnalysisTree(wl, root))
+        assert any("reduction dim" in p for p in problems)
+
+    def test_associative_producer_exempt(self):
+        a = Tensor("A", (8, 8))
+        b = Tensor("B", (8,))
+        c = Tensor("C", (8,))
+        producer = Operator("p", {"i": 8, "k": 8},
+                            [simple_access(a, "i", "k")],
+                            simple_access(b, "i"), kind="sum")
+        consumer = Operator("q", {"i": 8}, [simple_access(b, "i")],
+                            simple_access(c, "i"), kind="exp")
+        wl = Workload("w", [producer, consumer])
+        root = FusionNode([temporal("k", 8)], level=1,
+                          children=[OpTile(producer, [temporal("i", 8)],
+                                           level=0),
+                                    _leaf(consumer)],
+                          binding=Binding.SHAR)
+        assert check_tree(AnalysisTree(wl, root)) == []
+
+    def test_final_consumer_reduction_allowed(self):
+        wl = _two_op_chain()
+        root = FusionNode([temporal("k", 8)], level=1, children=[
+            OpTile(wl.operators[0], [temporal("i", 8)], level=0),
+            OpTile(wl.operators[1], [temporal("i", 8)], level=0),
+        ], binding=Binding.SHAR)
+        # q reduces over k but its output leaves the fusion group.
+        problems = [p for p in check_tree(AnalysisTree(wl, root))
+                    if "reduction" in p]
+        # p's output B is consumed inside and k is NOT p's reduction dim.
+        assert problems == []
+
+
+class TestSiblingRules:
+    def test_consumer_before_producer_rejected(self):
+        wl = _two_op_chain()
+        p, q = wl.operators
+        root = FusionNode([], level=1, children=[_leaf(q), _leaf(p)])
+        problems = check_tree(AnalysisTree(wl, root))
+        assert any("precedes" in m for m in problems)
+
+    def test_para_requires_independence(self):
+        wl = _two_op_chain()
+        p, q = wl.operators
+        root = FusionNode([], level=1, children=[_leaf(p), _leaf(q)],
+                          binding=Binding.PARA)
+        problems = check_tree(AnalysisTree(wl, root))
+        assert any("Para siblings" in m for m in problems)
+
+    def test_pipe_dependence_allowed(self):
+        wl = _two_op_chain()
+        p, q = wl.operators
+        root = FusionNode([], level=1, children=[_leaf(p), _leaf(q)],
+                          binding=Binding.PIPE)
+        assert check_tree(AnalysisTree(wl, root)) == []
+
+    def test_fusion_loop_dim_must_exist(self):
+        wl = _two_op_chain()
+        p, q = wl.operators
+        root = FusionNode([temporal("zz", 2)], level=1,
+                          children=[_leaf(p), _leaf(q)])
+        problems = check_tree(AnalysisTree(wl, root))
+        assert any("belongs to no operator" in m for m in problems)

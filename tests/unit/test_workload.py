@@ -1,0 +1,166 @@
+"""Unit tests for workload DAGs and the workload library."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.ir import Operator, Tensor, Workload, simple_access
+from repro.workloads import (ATTENTION_SHAPES, CONV_CHAIN_SHAPES,
+                             batched_matmul, conv_chain, matmul,
+                             self_attention)
+
+
+def _chain_workload():
+    a = Tensor("A", (4,))
+    b = Tensor("B", (4,))
+    c = Tensor("C", (4,))
+    op1 = Operator("p", {"i": 4}, [simple_access(a, "i")],
+                   simple_access(b, "i"), kind="exp")
+    op2 = Operator("q", {"i": 4}, [simple_access(b, "i")],
+                   simple_access(c, "i"), kind="exp")
+    return Workload("chain", [op1, op2])
+
+
+class TestWorkloadStructure:
+    def test_classification(self):
+        wl = _chain_workload()
+        assert [t.name for t in wl.input_tensors()] == ["A"]
+        assert [t.name for t in wl.intermediate_tensors()] == ["B"]
+        assert [t.name for t in wl.output_tensors()] == ["C"]
+
+    def test_producer_consumers(self):
+        wl = _chain_workload()
+        assert wl.producer("B").name == "p"
+        assert wl.producer("A") is None
+        assert [o.name for o in wl.consumers("B")] == ["q"]
+
+    def test_dependency_chain(self):
+        assert _chain_workload().dependency_chain() == [("p", "B", "q")]
+
+    def test_is_intermediate(self):
+        wl = _chain_workload()
+        assert wl.is_intermediate("B")
+        assert not wl.is_intermediate("A")
+        assert not wl.is_intermediate("C")
+
+    def test_rejects_duplicate_producers(self):
+        a = Tensor("A", (4,))
+        b = Tensor("B", (4,))
+        op1 = Operator("p", {"i": 4}, [simple_access(a, "i")],
+                       simple_access(b, "i"))
+        op2 = Operator("q", {"i": 4}, [simple_access(a, "i")],
+                       simple_access(b, "i"))
+        with pytest.raises(WorkloadError):
+            Workload("bad", [op1, op2])
+
+    def test_rejects_consumer_before_producer(self):
+        a = Tensor("A", (4,))
+        b = Tensor("B", (4,))
+        c = Tensor("C", (4,))
+        produce = Operator("p", {"i": 4}, [simple_access(a, "i")],
+                           simple_access(b, "i"))
+        consume = Operator("q", {"i": 4}, [simple_access(b, "i")],
+                           simple_access(c, "i"))
+        with pytest.raises(WorkloadError):
+            Workload("bad", [consume, produce])
+
+    def test_rejects_duplicate_op_names(self):
+        a = Tensor("A", (4,))
+        b = Tensor("B", (4,))
+        c = Tensor("C", (4,))
+        op1 = Operator("p", {"i": 4}, [simple_access(a, "i")],
+                       simple_access(b, "i"))
+        op2 = Operator("p", {"i": 4}, [simple_access(b, "i")],
+                       simple_access(c, "i"))
+        with pytest.raises(WorkloadError):
+            Workload("bad", [op1, op2])
+
+    def test_rejects_shape_conflict(self):
+        a = Tensor("A", (4,))
+        a2 = Tensor("A", (8,))
+        b = Tensor("B", (4,))
+        c = Tensor("C", (8,))
+        op1 = Operator("p", {"i": 4}, [simple_access(a, "i")],
+                       simple_access(b, "i"))
+        op2 = Operator("q", {"i": 8}, [simple_access(a2, "i")],
+                       simple_access(c, "i"))
+        with pytest.raises(WorkloadError):
+            Workload("bad", [op1, op2])
+
+    def test_lookups_raise_for_unknown(self):
+        wl = _chain_workload()
+        with pytest.raises(WorkloadError):
+            wl.operator("nope")
+        with pytest.raises(WorkloadError):
+            wl.tensor("nope")
+
+
+class TestMatmulBuilders:
+    def test_matmul_ops(self):
+        wl = matmul(8, 8, 8)
+        assert wl.total_ops == 512
+        assert not wl.intermediate_tensors()
+
+    def test_batched_matmul(self):
+        wl = batched_matmul(2, 4, 4, 4)
+        assert wl.operators[0].dims["b"] == 2
+        assert wl.total_ops == 2 * 64
+
+
+class TestAttentionBuilder:
+    def test_expanded_has_seven_ops(self):
+        wl = self_attention(4, 64, 128)
+        assert len(wl.operators) == 7
+        assert {t.name for t in wl.intermediate_tensors()} == \
+            {"S", "Mx", "Sub", "E", "Sm", "L"}
+
+    def test_compact_has_three_ops(self):
+        wl = self_attention(4, 64, 128, expand_softmax=False)
+        assert [op.name for op in wl.operators] == ["qk", "softmax", "av"]
+        assert {t.name for t in wl.intermediate_tensors()} == {"S", "L"}
+
+    def test_head_dim_division(self):
+        with pytest.raises(ValueError):
+            self_attention(3, 64, 128)
+
+    def test_total_ops_counts_both_matmuls(self):
+        wl = self_attention(1, 8, 8, expand_softmax=False)
+        # qk: 8*8*8, av: 8*8*8, softmax: 8*8*5
+        assert wl.total_ops == 512 + 512 + 320
+
+    def test_batch_dimension(self):
+        wl = self_attention(2, 16, 32, batch=4)
+        assert wl.operator("qk").dims["b"] == 4
+
+    def test_shape_table_complete(self):
+        assert len(ATTENTION_SHAPES) == 11
+        assert ATTENTION_SHAPES["Bert-S"].head_dim == 64
+
+
+class TestConvChainBuilder:
+    def test_shapes(self):
+        wl = conv_chain(8, 16, 16, 12, 10, kernel=3)
+        assert wl.tensor("Act").shape == (16, 16, 12)
+        assert wl.tensor("Out").shape == (14, 14, 10)
+        assert wl.tensor("Im").shape == (18, 18, 8)
+
+    def test_shared_spatial_dims(self):
+        wl = conv_chain(8, 16, 16, 12, 10)
+        assert wl.operator("conv1").dims["p"] == 16
+        assert wl.operator("conv2").dims["p"] == 14
+
+    def test_reductions(self):
+        wl = conv_chain(8, 16, 16, 12, 10)
+        assert wl.operator("conv2").reduction_dims == \
+            frozenset({"u", "v", "c1"})
+
+    def test_kernel_one(self):
+        wl = conv_chain(4, 8, 8, 4, 4, kernel=1)
+        assert wl.tensor("Out").shape == (8, 8, 4)
+
+    def test_rejects_tiny_spatial(self):
+        with pytest.raises(ValueError):
+            conv_chain(4, 2, 2, 4, 4, kernel=3)
+
+    def test_shape_table(self):
+        assert len(CONV_CHAIN_SHAPES) == 5
+        assert CONV_CHAIN_SHAPES["CC1"].in_channels == 64
