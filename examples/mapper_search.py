@@ -5,20 +5,35 @@ search of §6 on a small self-attention layer and prints the exploration
 trace and the champion mapping.
 
 Run:  python examples/mapper_search.py
+
+Set ``REPRO_PROFILE=1`` to print a profile summary (spans by self-time,
+search counters) to stderr when the search finishes — the worked example
+of docs/OBSERVABILITY.md.
 """
 
-from repro import arch
+import os
+import sys
+
+from repro import arch, obs
 from repro.mapper import TileFlowMapper
 from repro.tile import render_notation
 from repro.workloads import self_attention
 
 
 def main() -> None:
+    profiling = os.environ.get("REPRO_PROFILE") == "1"
+    tracer = obs.enable() if profiling else None
+
     workload = self_attention(num_heads=8, seq_len=256, hidden=512,
                               name="attn-search")
     spec = arch.edge()
     mapper = TileFlowMapper(workload, spec, seed=7)
     result = mapper.explore(generations=6, population=10, mcts_samples=20)
+
+    if tracer is not None:
+        obs.disable()
+        print(obs.render_profile(tracer.spans, obs.metrics_snapshot()),
+              file=sys.stderr)
 
     print("exploration trace (best cost per generation):")
     for gen, cost in enumerate(result.trace):

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from .. import obs
 from ..arch import Architecture
 from ..errors import ResourceExceededError
 from ..tile.tree import AnalysisTree
@@ -52,15 +53,26 @@ class TileFlowModel:
         strict:
             Raise on resource violations instead of recording them.
         """
-        if validate:
-            validate_tree(tree)
-        movement = DataMovementAnalysis(
-            tree, self.arch, model_eviction=self.model_eviction,
-            model_rmw=self.model_rmw).run()
-        usage, violations = ResourceAnalysis(tree, self.arch, movement).run()
-        cycles, slowdown = LatencyAnalysis(tree, self.arch, movement).run()
-        energy_pj, breakdown = compute_energy(
-            tree.workload, self.arch, movement.traffic)
+        with obs.span("model.evaluate", "analysis", tree=tree.name):
+            obs.count("model.evaluations")
+            if validate:
+                with obs.span("model.validate", "analysis"):
+                    validate_tree(tree)
+            with obs.span("model.datamovement", "analysis"):
+                movement = DataMovementAnalysis(
+                    tree, self.arch, model_eviction=self.model_eviction,
+                    model_rmw=self.model_rmw).run()
+            with obs.span("model.resources", "analysis"):
+                usage, violations = ResourceAnalysis(
+                    tree, self.arch, movement).run()
+            with obs.span("model.latency", "analysis"):
+                cycles, slowdown = LatencyAnalysis(
+                    tree, self.arch, movement).run()
+            with obs.span("model.energy", "analysis"):
+                energy_pj, breakdown = compute_energy(
+                    tree.workload, self.arch, movement.traffic)
+        if violations:
+            obs.count("model.infeasible")
         if strict and violations:
             raise ResourceExceededError(
                 f"mapping {tree.name!r} infeasible on {self.arch.name!r}: "

@@ -9,15 +9,27 @@ Thin wrappers over the library for the common flows:
 * ``validate``  — run the Fig. 8 validation sweeps.
 * ``experiment``— regenerate one paper table/figure by id (fig10, tab7,
   ...), the same output the benches print.
+* ``stats``     — replay a ``--trace`` JSONL file into the profile
+  summary ``--profile`` prints.
+
+Every command accepts the observability flags ``--trace FILE`` /
+``--profile`` (see :mod:`repro.obs` and docs/OBSERVABILITY.md) plus the
+output-mode flags ``--json`` / ``--quiet``.  All output is routed
+through one :class:`OutputWriter`: in ``--json`` mode only the JSON
+payload reaches stdout (no interleaved headers), and the ``--profile``
+summary goes to stderr so it never corrupts machine-readable output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
-from typing import List, Optional
+from typing import Any, IO, List, Optional
 
 from . import arch as arch_mod
+from . import obs
 from .analysis import TileFlowModel
 from .dataflows import (ATTENTION_DATAFLOWS, CONV_DATAFLOWS,
                         attention_dataflow, conv_dataflow)
@@ -25,6 +37,31 @@ from .mapper import TileFlowMapper
 from .tile import render_notation
 from .workloads import (ATTENTION_SHAPES, CONV_CHAIN_SHAPES,
                         attention_from_shape, conv_chain_from_shape)
+
+
+class OutputWriter:
+    """Single sink for all CLI output.
+
+    ``emit`` carries human-readable text (suppressed by ``--quiet`` and
+    in ``--json`` mode); ``emit_json`` carries the machine-readable
+    payload (printed only in ``--json`` mode).  A command's result is
+    therefore exactly one of the two streams, never an interleaving.
+    """
+
+    def __init__(self, json_mode: bool = False, quiet: bool = False,
+                 stream: Optional[IO[str]] = None):
+        self.json_mode = json_mode
+        self.quiet = quiet
+        self.stream = stream if stream is not None else sys.stdout
+
+    def emit(self, text: str = "") -> None:
+        if not (self.quiet or self.json_mode):
+            print(text, file=self.stream)
+
+    def emit_json(self, payload: Any) -> None:
+        if self.json_mode:
+            json.dump(payload, self.stream, indent=2, allow_nan=False)
+            self.stream.write("\n")
 
 
 def _workload(args):
@@ -44,25 +81,24 @@ def _dataflow(workload, name, spec):
 
 
 def cmd_evaluate(args) -> int:
+    w = args.writer
     workload = _workload(args)
     spec = arch_mod.by_name(args.arch)
     tree = _dataflow(workload, args.dataflow, spec)
     result = TileFlowModel(spec).evaluate(tree)
-    if args.json:
-        import json
-        print(json.dumps(result.to_dict(), indent=2))
-        return 0 if result.feasible else 1
+    w.emit_json(result.to_dict())
     if args.show_tree:
-        print(tree.render())
-        print()
+        w.emit(tree.render())
+        w.emit()
     if args.show_notation:
-        print(render_notation(tree))
-        print()
-    print(result.summary())
+        w.emit(render_notation(tree))
+        w.emit()
+    w.emit(result.summary())
     return 0 if result.feasible else 1
 
 
 def cmd_compare(args) -> int:
+    w = args.writer
     workload = _workload(args)
     spec = arch_mod.by_name(args.arch)
     names = (CONV_DATAFLOWS if "conv1" in
@@ -70,28 +106,38 @@ def cmd_compare(args) -> int:
              ATTENTION_DATAFLOWS)
     model = TileFlowModel(spec)
     base = None
-    print(f"{'dataflow':12s} {'cycles':>12s} {'speedup':>8s} "
-          f"{'DRAM words':>12s}")
+    rows = []
+    w.emit(f"{'dataflow':12s} {'cycles':>12s} {'speedup':>8s} "
+           f"{'DRAM words':>12s}")
     for name in names:
         result = model.evaluate(_dataflow(workload, name, spec))
         base = base or result.latency_cycles
-        print(f"{name:12s} {result.latency_cycles:12.4g} "
-              f"{base / result.latency_cycles:7.2f}x "
-              f"{result.dram_words():12.4g}")
+        w.emit(f"{name:12s} {result.latency_cycles:12.4g} "
+               f"{base / result.latency_cycles:7.2f}x "
+               f"{result.dram_words():12.4g}")
+        rows.append({"dataflow": name,
+                     "latency_cycles": result.latency_cycles,
+                     "speedup": base / result.latency_cycles,
+                     "dram_words": result.dram_words(),
+                     "feasible": result.feasible})
+    w.emit_json({"workload": args.workload, "arch": spec.name,
+                 "dataflows": rows})
     return 0
 
 
 def cmd_search(args) -> int:
+    w = args.writer
     workload = _workload(args)
     spec = arch_mod.by_name(args.arch)
     mapper = TileFlowMapper(workload, spec, seed=args.seed)
     result = mapper.explore(generations=args.generations,
                             population=args.population,
                             mcts_samples=args.samples)
-    print(f"best ordering/binding: "
-          f"{result.best_genome.describe(workload)}")
-    print(f"best factors         : {result.best_factors}")
-    print(result.best_result.summary())
+    w.emit_json(result.to_dict())
+    w.emit(f"best ordering/binding: "
+           f"{result.best_genome.describe(workload)}")
+    w.emit(f"best factors         : {result.best_factors}")
+    w.emit(result.best_result.summary())
     return 0
 
 
@@ -101,7 +147,9 @@ def cmd_validate(args) -> int:
                                          validate_against_polyhedron)
     poly = validate_against_polyhedron(limit=args.mappings)
     accel = validate_against_accelerator(limit=min(131, args.mappings))
-    print(format_validation(poly, accel))
+    text = format_validation(poly, accel)
+    args.writer.emit(text)
+    args.writer.emit_json({"experiment": "fig8", "output": text})
     return 0
 
 
@@ -110,87 +158,119 @@ _EXPERIMENTS = ("fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
 
 
 def cmd_experiment(args) -> int:
+    w = args.writer
     eid = args.id.lower()
+
+    def finish(blocks: List[str]) -> int:
+        for block in blocks:
+            w.emit(block)
+        w.emit_json({"experiment": eid, "output": "\n".join(blocks)})
+        return 0
+
     if eid == "fig8":
-        return cmd_validate(argparse.Namespace(mappings=1152))
+        return cmd_validate(argparse.Namespace(mappings=1152, writer=w))
     if eid == "fig9":
         from .experiments.exploration import (factor_tuning_trace,
                                               format_traces)
         traces = factor_tuning_trace(samples=40)
-        print(format_traces(traces, "Figure 9a"))
-        return 0
+        return finish([format_traces(traces, "Figure 9a")])
     if eid in ("fig10", "fig11"):
         from .experiments.comparison import (attention_comparison,
                                              format_normalized_cycles)
         spec = arch_mod.edge() if eid == "fig10" else arch_mod.cloud()
         result = attention_comparison(spec)
-        print(format_normalized_cycles(result, f"Figure {eid[3:]}a"))
-        return 0
+        return finish([format_normalized_cycles(result,
+                                                f"Figure {eid[3:]}a")])
     if eid == "fig12":
         from .experiments.comparison import (conv_comparison,
                                              format_normalized_cycles)
-        print(format_normalized_cycles(conv_comparison(), "Figure 12a"))
-        return 0
+        return finish([format_normalized_cycles(conv_comparison(),
+                                                "Figure 12a")])
     if eid == "fig13":
         from .experiments.energy_breakdown import (energy_breakdown,
                                                    format_breakdown)
-        print(format_breakdown(energy_breakdown()))
-        return 0
+        return finish([format_breakdown(energy_breakdown())])
     if eid == "fig14":
         from .experiments.sensitivity import (bandwidth_sensitivity,
                                               format_bandwidth_sweep)
-        for shape in ("CC1", "CC2"):
-            print(format_bandwidth_sweep(bandwidth_sensitivity(shape)))
-        return 0
+        return finish([format_bandwidth_sweep(bandwidth_sensitivity(shape))
+                       for shape in ("CC1", "CC2")])
     if eid == "tab6":
         from .experiments.sensitivity import format_pe_sweep, pe_size_sweep
-        print(format_pe_sweep(pe_size_sweep()))
-        return 0
+        return finish([format_pe_sweep(pe_size_sweep())])
     if eid == "tab7":
         from .experiments.sensitivity import (format_granularity,
                                               granularity_study)
-        for scenario in ("fixed", "explored", "limited"):
-            print(format_granularity(scenario,
-                                     granularity_study(scenario)))
-        return 0
+        return finish([format_granularity(scenario,
+                                          granularity_study(scenario))
+                       for scenario in ("fixed", "explored", "limited")])
     if eid == "tab8":
         from .experiments.gpu import format_gpu, gpu_evaluation
-        print(format_gpu(gpu_evaluation()))
-        return 0
+        return finish([format_gpu(gpu_evaluation())])
     if eid == "ablation":
         from .experiments.ablation import (binding_ablation,
                                            format_binding_ablation,
                                            format_rule_ablation,
                                            movement_rule_ablation)
-        for rule in ("eviction", "rmw"):
-            print(format_rule_ablation(rule, movement_rule_ablation(rule)))
-        print(format_binding_ablation(binding_ablation()))
-        return 0
+        blocks = [format_rule_ablation(rule, movement_rule_ablation(rule))
+                  for rule in ("eviction", "rmw")]
+        blocks.append(format_binding_ablation(binding_ablation()))
+        return finish(blocks)
     raise SystemExit(f"unknown experiment {args.id!r}; "
                      f"choose from {_EXPERIMENTS}")
 
 
+def cmd_stats(args) -> int:
+    """Replay a trace file into the ``--profile`` summary."""
+    try:
+        spans, metrics = obs.load_jsonl(args.trace_file)
+    except OSError as exc:
+        raise SystemExit(f"cannot read trace file: {exc}")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(
+            f"{args.trace_file} is not a JSONL trace file ({exc}); "
+            f"expected a file written by --trace")
+    args.writer.emit(obs.render_profile(spans, metrics, top=args.top))
+    args.writer.emit_json(obs.profile_dict(spans, metrics))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    out = common.add_argument_group("output")
+    out.add_argument("--json", action="store_true",
+                     help="emit only machine-readable JSON on stdout")
+    out.add_argument("--quiet", action="store_true",
+                     help="suppress human-readable output")
+    prof = common.add_argument_group("observability")
+    prof.add_argument("--trace", metavar="FILE", default=None,
+                      help="record spans/metrics to a JSONL trace file "
+                           "(replay with `repro stats FILE`)")
+    prof.add_argument("--profile", action="store_true",
+                      help="print a profile summary (spans by self-time, "
+                           "counters) to stderr when the command finishes")
+
     parser = argparse.ArgumentParser(
         prog="repro", description="TileFlow reproduction CLI")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("evaluate", help="evaluate one dataflow")
+    p = sub.add_parser("evaluate", parents=[common],
+                       help="evaluate one dataflow")
     p.add_argument("workload", help="shape name (Bert-S, CC1, ...)")
     p.add_argument("dataflow", help="dataflow template name")
     p.add_argument("--arch", default="edge")
     p.add_argument("--show-tree", action="store_true")
     p.add_argument("--show-notation", action="store_true")
-    p.add_argument("--json", action="store_true",
-                   help="emit the evaluation as JSON")
     p.set_defaults(func=cmd_evaluate)
 
-    p = sub.add_parser("compare", help="compare all dataflows")
+    p = sub.add_parser("compare", parents=[common],
+                       help="compare all dataflows")
     p.add_argument("workload")
     p.add_argument("--arch", default="edge")
     p.set_defaults(func=cmd_compare)
 
-    p = sub.add_parser("search", help="run the GA+MCTS mapper")
+    p = sub.add_parser("search", parents=[common],
+                       help="run the GA+MCTS mapper")
     p.add_argument("workload")
     p.add_argument("--arch", default="edge")
     p.add_argument("--generations", type=int, default=6)
@@ -199,19 +279,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_search)
 
-    p = sub.add_parser("validate", help="Fig. 8 validation sweeps")
+    p = sub.add_parser("validate", parents=[common],
+                       help="Fig. 8 validation sweeps")
     p.add_argument("--mappings", type=int, default=256)
     p.set_defaults(func=cmd_validate)
 
-    p = sub.add_parser("experiment", help="regenerate a table/figure")
+    p = sub.add_parser("experiment", parents=[common],
+                       help="regenerate a table/figure")
     p.add_argument("id", help=f"one of {_EXPERIMENTS}")
     p.set_defaults(func=cmd_experiment)
+
+    p = sub.add_parser("stats", parents=[common],
+                       help="summarize a JSONL trace file")
+    p.add_argument("trace_file", help="file written by --trace")
+    p.add_argument("--top", type=int, default=20,
+                   help="span names to show (by self-time)")
+    p.set_defaults(func=cmd_stats)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    args.writer = OutputWriter(json_mode=getattr(args, "json", False),
+                               quiet=getattr(args, "quiet", False))
+    trace_path = getattr(args, "trace", None)
+    trace_fh = None
+    if trace_path:
+        try:  # open eagerly so a bad path fails before the run, not after
+            trace_fh = open(trace_path, "w")
+        except OSError as exc:
+            raise SystemExit(f"cannot write trace file: {exc}")
+    tracer = (obs.enable() if trace_fh or getattr(args, "profile", False)
+              else None)
+    try:
+        rc = args.func(args)
+    except BrokenPipeError:  # e.g. `repro stats trace.jsonl | head`
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        rc = 141  # 128 + SIGPIPE, the conventional shell exit code
+    finally:
+        if tracer is not None:
+            obs.disable()
+            snapshot = obs.metrics_snapshot()
+            if trace_fh is not None:
+                with trace_fh:
+                    tracer.dump_jsonl(trace_fh, metrics=snapshot)
+            if getattr(args, "profile", False):
+                print(obs.render_profile(tracer.spans, snapshot),
+                      file=sys.stderr)
+        elif trace_fh is not None:  # pragma: no cover - defensive
+            trace_fh.close()
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from .. import obs
 from ..analysis import TileFlowModel
 from ..arch import Architecture, edge, validation_accelerator
 from ..dataflows import ATTENTION_DATAFLOWS
@@ -48,6 +49,7 @@ class AblationRow:
                 if self.full_cycles else 1.0)
 
 
+@obs.traced()
 def movement_rule_ablation(rule: str, shape_name: str = "Bert-S",
                            arch: Optional[Architecture] = None
                            ) -> List[AblationRow]:
@@ -76,6 +78,7 @@ def movement_rule_ablation(rule: str, shape_name: str = "Bert-S",
     return rows
 
 
+@obs.traced()
 def binding_ablation(shape_name: str = "Bert-S",
                      arch: Optional[Architecture] = None
                      ) -> Dict[str, float]:

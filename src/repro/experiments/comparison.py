@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
+from .. import obs
 from ..analysis import EvaluationResult, TileFlowModel
 from ..arch import Architecture, cloud, edge
 from ..dataflows import (ATTENTION_DATAFLOWS, CONV_DATAFLOWS,
@@ -98,6 +99,7 @@ def _evaluate_all(workload_of: Callable[[str], Workload],
 
 
 # ----------------------------------------------------------------------
+@obs.traced()
 def attention_comparison(arch: Optional[Architecture] = None,
                          shapes: Optional[Sequence[str]] = None,
                          tune_samples: int = 0,
@@ -117,6 +119,7 @@ def attention_comparison(arch: Optional[Architecture] = None,
                          tune_samples)
 
 
+@obs.traced()
 def conv_comparison(arch: Optional[Architecture] = None,
                     shapes: Optional[Sequence[str]] = None,
                     tune_samples: int = 20) -> ComparisonResult:

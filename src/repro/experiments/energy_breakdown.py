@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from .. import obs
 from ..analysis import TileFlowModel
 from ..arch import Architecture, edge, sram_access_energy_pj
 from ..dataflows import ATTENTION_DATAFLOWS
@@ -40,6 +41,7 @@ class BreakdownResult:
                 for k in keys}
 
 
+@obs.traced()
 def energy_breakdown(shapes: Optional[Sequence[str]] = None,
                      dataflow: str = "flat_rgran",
                      l1_sizes: Sequence[int] = L1_SIZES,

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from .. import obs
 from ..arch import Architecture, edge
 from ..dataflows import (ATTENTION_DATAFLOWS, attention_factor_space)
 from ..ir import Workload
@@ -32,6 +33,7 @@ class ExplorationTraces:
                 if trace}
 
 
+@obs.traced()
 def factor_tuning_trace(shape_name: str = "Bert-S",
                         arch: Optional[Architecture] = None,
                         samples: int = 50,
@@ -51,6 +53,7 @@ def factor_tuning_trace(shape_name: str = "Bert-S",
     return traces
 
 
+@obs.traced()
 def space_exploration_trace(workloads: Dict[str, Workload],
                             arch: Optional[Architecture] = None,
                             generations: int = 8, population: int = 10,

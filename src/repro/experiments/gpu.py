@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..analysis import TileFlowModel
 from ..arch import Architecture, gpu_like
 from ..dataflows import ATTENTION_DATAFLOWS
@@ -41,6 +42,7 @@ class GpuRow:
     oom: bool
 
 
+@obs.traced()
 def gpu_evaluation(models: Optional[Sequence[str]] = None,
                    seq_lens: Optional[Sequence[int]] = None,
                    arch: Optional[Architecture] = None) -> List[GpuRow]:

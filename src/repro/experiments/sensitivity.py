@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..analysis import TileFlowModel
 from ..arch import Architecture, cloud, edge
 from ..dataflows import (ATTENTION_DATAFLOWS, CONV_DATAFLOWS,
@@ -49,6 +50,7 @@ class BandwidthSweep:
         return None
 
 
+@obs.traced()
 def bandwidth_sensitivity(shape_name: str = "CC1",
                           bandwidths_gbs: Optional[Sequence[float]] = None,
                           dataflows: Sequence[str] = ("fused_layer", "isos",
@@ -92,6 +94,7 @@ def format_bandwidth_sweep(sweep: BandwidthSweep) -> str:
 # ----------------------------------------------------------------------
 # Table 6
 # ----------------------------------------------------------------------
+@obs.traced()
 def pe_size_sweep(sizes: Sequence[int] = (8, 16, 32, 64, 128, 256),
                   shape_name: str = "Bert-B",
                   base_arch: Optional[Architecture] = None
@@ -141,6 +144,7 @@ class GranularityRow:
     oom: bool = False
 
 
+@obs.traced()
 def granularity_study(scenario: str, batch: int = 128,
                       tune_samples: int = 30,
                       arch: Optional[Architecture] = None

@@ -17,6 +17,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..analysis import TileFlowModel
 from ..arch import Architecture, validation_accelerator
 from ..baselines import (GraphBasedModel, MappingLoop, PolyhedronMapping,
@@ -124,6 +125,7 @@ def matmul_tree(workload: Workload, arch: Architecture,
     return AnalysisTree(workload, l1, name="mm-mapping")
 
 
+@obs.traced()
 def validate_against_polyhedron(size: int = 256, limit: int = 1152,
                                 arch: Optional[Architecture] = None
                                 ) -> CorrelationResult:
@@ -149,6 +151,7 @@ def validate_against_polyhedron(size: int = 256, limit: int = 1152,
 # ----------------------------------------------------------------------
 # Fig. 8c / 8d
 # ----------------------------------------------------------------------
+@obs.traced()
 def validate_against_accelerator(limit: int = 131
                                  ) -> CorrelationResult:
     """Fig. 8c/8d: analytical model vs the simulated accelerator.

@@ -13,6 +13,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from .. import obs
 from ..arch import Architecture
 from ..ir import Workload
 from .cost import INFEASIBLE, Cost
@@ -74,26 +75,30 @@ class GeneticExplorer:
         """Evolve for ``generations``; returns the champion found."""
         population = self._initial_population()
         for gen in range(generations):
-            scored: List[Tuple[Cost, Genome, Dict[str, int]]] = []
-            for genome in population:
-                cost, factors = self._fitness(genome)
-                scored.append((cost, genome, factors))
-                if self.best is None or cost < self.best[0]:
-                    self.best = (cost, genome, factors)
-            scored.sort(key=lambda item: item[0])
-            finite = [c for c, _, _ in scored if c != INFEASIBLE]
-            mean = (sum(finite) / len(finite)) if finite else INFEASIBLE
-            self.stats.append(GenerationStats(
-                generation=gen, best_cost=scored[0][0], mean_cost=mean,
-                best_genome=scored[0][1], best_factors=scored[0][2]))
-            parents = [g for _, g, _ in scored[:self.survivors]]
-            population = list(parents)
-            while len(population) < self.population_size:
-                mother = self.rng.choice(parents)
-                father = self.rng.choice(parents)
-                child = mother.crossover(father, self.rng)
-                population.append(child.mutate(self.rng,
-                                               self.mutation_rate))
+            with obs.span("ga.generation", "mapper", generation=gen):
+                scored: List[Tuple[Cost, Genome, Dict[str, int]]] = []
+                for genome in population:
+                    cost, factors = self._fitness(genome)
+                    scored.append((cost, genome, factors))
+                    if self.best is None or cost < self.best[0]:
+                        self.best = (cost, genome, factors)
+                scored.sort(key=lambda item: item[0])
+                finite = [c for c, _, _ in scored if c != INFEASIBLE]
+                mean = (sum(finite) / len(finite)) if finite else INFEASIBLE
+                self.stats.append(GenerationStats(
+                    generation=gen, best_cost=scored[0][0], mean_cost=mean,
+                    best_genome=scored[0][1], best_factors=scored[0][2]))
+                parents = [g for _, g, _ in scored[:self.survivors]]
+                population = list(parents)
+                while len(population) < self.population_size:
+                    mother = self.rng.choice(parents)
+                    father = self.rng.choice(parents)
+                    child = mother.crossover(father, self.rng)
+                    population.append(child.mutate(self.rng,
+                                                   self.mutation_rate))
+            obs.count("ga.generations")
+            if self.best is not None and self.best[0] != INFEASIBLE:
+                obs.gauge("mapper.best_cost", self.best[0])
         assert self.best is not None
         cost, genome, factors = self.best
         return genome, factors, cost

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
+from .. import obs
 from ..analysis import EvaluationResult, TileFlowModel
 from ..arch import Architecture
 from ..ir import Workload
@@ -41,14 +42,53 @@ class MapperResult:
     trace: List[Cost] = field(default_factory=list)
     best_genome: Optional[Genome] = None
 
+    def cummin_trace(self) -> List[Cost]:
+        """Best-so-far (monotone non-increasing) view of the raw trace."""
+        out: List[Cost] = []
+        best = INFEASIBLE
+        for cost in self.trace:
+            if cost < best:
+                best = cost
+            out.append(best)
+        return out
+
     def normalized_trace(self) -> List[float]:
-        """Trace normalized so the final (best) value is 1 (Fig. 9)."""
-        finite = [c for c in self.trace if c != INFEASIBLE]
+        """Best-so-far trace normalized so the final value is 1 (Fig. 9).
+
+        The raw trace is not guaranteed monotone (per-generation best
+        costs can regress when survivors' MCTS re-tuning gets a worse
+        seed), so a best-so-far cummin is applied first; the final
+        cummin entry is then the global best by construction.
+        """
+        trace = self.cummin_trace()
+        finite = [c for c in trace if c != INFEASIBLE]
         if not finite:
-            return [0.0 for _ in self.trace]
-        best = min(finite)
+            return [0.0 for _ in trace]
+        best = finite[-1]
         return [best / c if c != INFEASIBLE and c > 0 else 0.0
-                for c in self.trace]
+                for c in trace]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly representation (mirrors
+        :meth:`EvaluationResult.to_dict`); ``INFEASIBLE`` costs map to
+        ``None`` so the output is strict JSON."""
+        def cost_or_none(cost: Cost):
+            return None if cost == INFEASIBLE else cost
+
+        genome = None
+        if self.best_genome is not None:
+            genome = self.best_genome.describe(self.best_tree.workload)
+        return {
+            "tree": self.best_tree.name,
+            "best_cost": cost_or_none(self.best_cost),
+            "best_factors": dict(self.best_factors),
+            "best_genome": genome,
+            "trace": [cost_or_none(c) for c in self.trace],
+            "best_so_far_trace": [cost_or_none(c)
+                                  for c in self.cummin_trace()],
+            "normalized_trace": self.normalized_trace(),
+            "result": self.best_result.to_dict(),
+        }
 
 
 class TileFlowMapper:
@@ -67,18 +107,25 @@ class TileFlowMapper:
                          factors: Dict[str, int]) -> Cost:
         tree = build_genome_tree(self.workload, self.arch, genome, factors)
         result = self.model.evaluate(tree)
-        return latency_cost(result, self.respect_memory)
+        cost = latency_cost(result, self.respect_memory)
+        obs.count("mapper.evaluations")
+        if cost == INFEASIBLE:
+            obs.count("mapper.infeasible")
+        return cost
 
     def explore(self, generations: int = 8, population: int = 12,
                 mcts_samples: int = 30) -> MapperResult:
         """Run the combined GA+MCTS search (§6)."""
-        explorer = GeneticExplorer(
-            self.workload, self._evaluate_genome,
-            population=population, mcts_samples=mcts_samples,
-            seed=self.seed)
-        genome, factors, cost = explorer.run(generations)
-        tree = build_genome_tree(self.workload, self.arch, genome, factors)
-        result = self.model.evaluate(tree)
+        with obs.span("mapper.explore", "mapper",
+                      workload=self.workload.name, arch=self.arch.name):
+            explorer = GeneticExplorer(
+                self.workload, self._evaluate_genome,
+                population=population, mcts_samples=mcts_samples,
+                seed=self.seed)
+            genome, factors, cost = explorer.run(generations)
+            tree = build_genome_tree(self.workload, self.arch, genome,
+                                     factors)
+            result = self.model.evaluate(tree)
         return MapperResult(
             best_tree=tree, best_result=result, best_cost=cost,
             best_factors=factors,
@@ -106,11 +153,15 @@ def tune_template(template: TemplateFn, space: Mapping[str, List[int]],
             tree = template(workload, arch, point)
             result = model.evaluate(tree)
             cache[key] = result
+        else:
+            obs.count("mapper.template_cache_hits")
         return latency_cost(result, respect_memory)
 
     factor_space = FactorSpace({k: list(v) for k, v in space.items()})
     tuner = MCTSTuner(factor_space, evaluate, seed=seed)
-    point, cost = tuner.search(samples)
+    with obs.span("mapper.tune_template", "mapper",
+                  workload=workload.name, arch=arch.name):
+        point, cost = tuner.search(samples)
     factors = point or factor_space.default_point()
     tree = template(workload, arch, factors)
     result = model.evaluate(tree)

@@ -17,6 +17,7 @@ import math
 import random
 from typing import Callable, Dict, List, Optional, Tuple
 
+from .. import obs
 from .factors import FactorSpace
 
 Cost = float
@@ -85,7 +86,9 @@ class MCTSTuner:
             self.history = [cost] * max(1, samples)
             return point, cost
         for _ in range(samples):
-            self._sample_once()
+            with obs.span("mcts.sample", "mapper"):
+                self._sample_once()
+            obs.count("mcts.samples")
             self.history.append(self.best_cost)
         return self.best_point, self.best_cost
 
@@ -125,12 +128,14 @@ class MCTSTuner:
     def _evaluate(self, indices: Tuple[int, ...]) -> Cost:
         cached = self._cache.get(indices)
         if cached is not None:
+            obs.count("mcts.cache_hits")
             return cached
         point = self.space.point_at(indices)
         try:
             cost = float(self.evaluator(point))
         except Exception:
             cost = FAILURE_COST
+            obs.count("mcts.failures")
         self._cache[indices] = cost
         return cost
 

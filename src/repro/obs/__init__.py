@@ -1,0 +1,67 @@
+"""Observability: structured tracing, metrics, and profile reporting.
+
+One import point for instrumented code::
+
+    from .. import obs
+
+    with obs.span("model.evaluate"):
+        obs.count("model.evaluations")
+        ...
+
+Everything is **zero-cost when disabled** (the default): ``obs.span``
+returns a shared no-op object and the metric helpers early-return after
+one flag check, so the analytical model's benchmark numbers are
+unaffected.  ``obs.enable()`` switches on both tracing and metrics (the
+CLI does this for ``--trace``/``--profile``); ``obs.disable()`` returns
+the tracer so callers can export or render it.
+
+See ``docs/OBSERVABILITY.md`` for the span/metric taxonomy and the
+trace-file format.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from . import metrics, trace
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry, count,
+                      gauge, observe)
+from .metrics import registry as metrics_registry
+from .metrics import snapshot as metrics_snapshot
+from .report import (SpanStat, aggregate_spans, profile_dict, render_profile,
+                     summarize_trace_file)
+from .trace import (NOOP_SPAN, SpanRecord, Tracer, load_jsonl, span, traced)
+
+
+def enable(tracer: Optional[Tracer] = None) -> Tracer:
+    """Turn on tracing *and* metrics; returns the active tracer.
+
+    By default starts from a clean slate (fresh tracer, reset registry)
+    so successive sessions don't bleed into each other.
+    """
+    metrics.enable(reset=True)
+    return trace.enable(tracer)
+
+
+def disable() -> Optional[Tracer]:
+    """Turn off tracing and metrics; returns the tracer for export."""
+    metrics.disable()
+    return trace.disable()
+
+
+def is_enabled() -> bool:
+    return trace.is_enabled()
+
+
+def active_tracer() -> Optional[Tracer]:
+    return trace.active()
+
+
+__all__ = [
+    "Tracer", "SpanRecord", "NOOP_SPAN", "span", "traced", "load_jsonl",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "count", "gauge", "observe", "metrics_registry", "metrics_snapshot",
+    "SpanStat", "aggregate_spans", "render_profile", "profile_dict",
+    "summarize_trace_file",
+    "enable", "disable", "is_enabled", "active_tracer",
+]

@@ -1,0 +1,173 @@
+"""Metrics registry: counters, gauges, and histograms.
+
+Complements :mod:`repro.obs.trace`: spans answer *where does time go*,
+metrics answer *how often / how much* (mapping evaluations, infeasible
+rate, best-cost-so-far, simulator events, buffer high-water marks).
+
+The module-level helpers (:func:`count`, :func:`gauge`, :func:`observe`)
+check a single enable flag and return immediately when disabled, so
+instrumented hot paths pay one global read + one branch.  Metric
+creation is lock-protected; in-place updates rely on the GIL (the
+pipeline is single-threaded today; counters tolerate benign races).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Optional
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+    kind = "counter"
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """Last-set value, with automatic high/low-water tracking."""
+
+    __slots__ = ("value", "max", "min")
+    kind = "gauge"
+
+    def __init__(self) -> None:
+        self.value: Optional[float] = None
+        self.max: Optional[float] = None
+        self.min: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if self.min is None or value < self.min:
+            self.min = value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "value": self.value,
+                "max": self.max, "min": self.min}
+
+
+class Histogram:
+    """Streaming summary (count/sum/min/max) of observed values."""
+
+    __slots__ = ("count", "sum", "min", "max")
+    kind = "histogram"
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "count": self.count, "sum": self.sum,
+                "mean": self.mean, "min": self.min, "max": self.max}
+
+
+class MetricsRegistry:
+    """Named metrics, created on first touch."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Any] = {}
+
+    def _get(self, name: str, cls: type) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            with self._lock:
+                metric = self._metrics.setdefault(name, cls())
+        if not isinstance(metric, cls):
+            raise TypeError(f"metric {name!r} is a {type(metric).__name__}, "
+                            f"not a {cls.__name__}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """JSON-friendly state of every metric, sorted by name."""
+        with self._lock:
+            items = sorted(self._metrics.items())
+        return {name: metric.snapshot() for name, metric in items}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._metrics.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+# ---------------------------------------------------------------------------
+# Module-level registry + zero-cost-when-disabled helpers.
+
+_enabled = False
+_registry = MetricsRegistry()
+
+
+def enable(reset: bool = True) -> MetricsRegistry:
+    global _enabled
+    if reset:
+        _registry.reset()
+    _enabled = True
+    return _registry
+
+
+def disable() -> None:
+    """Stop recording; the registry stays readable for reporting."""
+    global _enabled
+    _enabled = False
+
+
+def is_enabled() -> bool:
+    return _enabled
+
+
+def registry() -> MetricsRegistry:
+    return _registry
+
+
+def count(name: str, n: float = 1.0) -> None:
+    if _enabled:
+        _registry.counter(name).inc(n)
+
+
+def gauge(name: str, value: float) -> None:
+    if _enabled:
+        _registry.gauge(name).set(value)
+
+
+def observe(name: str, value: float) -> None:
+    if _enabled:
+        _registry.histogram(name).observe(value)
+
+
+def snapshot() -> Dict[str, Dict[str, Any]]:
+    return _registry.snapshot()

@@ -1,0 +1,133 @@
+"""Profile reporting: aggregate spans + metrics into a summary.
+
+The renderers are pure functions of ``(spans, metrics_snapshot)`` so the
+live ``--profile`` path and the offline ``repro stats trace.jsonl``
+replay produce byte-identical summaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .trace import SpanRecord, load_jsonl
+
+
+@dataclass
+class SpanStat:
+    """Aggregate timing of all spans sharing one name."""
+
+    name: str
+    count: int
+    total_s: float
+    #: Total minus time spent in direct child spans.
+    self_s: float
+    min_s: float
+    max_s: float
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+def aggregate_spans(spans: Iterable[SpanRecord]) -> List[SpanStat]:
+    """Per-name stats, sorted by self-time (descending)."""
+    spans = list(spans)
+    child_time: Dict[int, float] = {}
+    for record in spans:
+        if record.parent_id is not None:
+            child_time[record.parent_id] = (
+                child_time.get(record.parent_id, 0.0) + record.duration_s)
+    stats: Dict[str, List[float]] = {}
+    selfs: Dict[str, float] = {}
+    for record in spans:
+        stats.setdefault(record.name, []).append(record.duration_s)
+        selfs[record.name] = (selfs.get(record.name, 0.0)
+                              + record.duration_s
+                              - child_time.get(record.span_id, 0.0))
+    out = [SpanStat(name=name, count=len(durs), total_s=sum(durs),
+                    self_s=selfs[name], min_s=min(durs), max_s=max(durs))
+           for name, durs in stats.items()]
+    out.sort(key=lambda s: (-s.self_s, s.name))
+    return out
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f}s "
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:8.3f}ms"
+    return f"{seconds * 1e6:8.1f}us"
+
+
+def render_profile(spans: Sequence[SpanRecord],
+                   metrics: Optional[Mapping[str, Mapping[str, Any]]] = None,
+                   top: int = 20) -> str:
+    """Human-readable summary: top spans by self-time + metric tables."""
+    lines: List[str] = []
+    stats = aggregate_spans(spans)
+    lines.append("== profile: spans by self-time ==")
+    if stats:
+        lines.append(f"{'span':32s} {'count':>7s} {'total':>10s} "
+                     f"{'self':>10s} {'mean':>10s}")
+        for stat in stats[:top]:
+            lines.append(
+                f"{stat.name:32s} {stat.count:7d} "
+                f"{_fmt_seconds(stat.total_s)} {_fmt_seconds(stat.self_s)} "
+                f"{_fmt_seconds(stat.mean_s)}")
+        if len(stats) > top:
+            lines.append(f"  ... {len(stats) - top} more span name(s)")
+    else:
+        lines.append("  (no spans recorded)")
+
+    counters = {n: s for n, s in (metrics or {}).items()
+                if s.get("kind") == "counter"}
+    gauges = {n: s for n, s in (metrics or {}).items()
+              if s.get("kind") == "gauge"}
+    histograms = {n: s for n, s in (metrics or {}).items()
+                  if s.get("kind") == "histogram"}
+    if counters:
+        lines.append("")
+        lines.append("== counters ==")
+        for name in sorted(counters):
+            lines.append(f"{name:40s} {counters[name].get('value', 0):>12g}")
+    if gauges:
+        lines.append("")
+        lines.append("== gauges (last / high-water) ==")
+        for name in sorted(gauges):
+            snap = gauges[name]
+            value = snap.get("value")
+            high = snap.get("max")
+            lines.append(f"{name:40s} "
+                         f"{'-' if value is None else format(value, '>12g')}"
+                         f" / "
+                         f"{'-' if high is None else format(high, 'g')}")
+    if histograms:
+        lines.append("")
+        lines.append("== histograms (count / mean / max) ==")
+        for name in sorted(histograms):
+            snap = histograms[name]
+            mean = snap.get("mean", 0.0)
+            lines.append(f"{name:40s} {snap.get('count', 0):>8d} / "
+                         f"{mean:g} / {snap.get('max')}")
+    return "\n".join(lines)
+
+
+def profile_dict(spans: Sequence[SpanRecord],
+                 metrics: Optional[Mapping[str, Mapping[str, Any]]] = None
+                 ) -> Dict[str, Any]:
+    """Machine-readable profile (CLI ``stats --json``)."""
+    return {
+        "spans": [{"name": s.name, "count": s.count, "total_s": s.total_s,
+                   "self_s": s.self_s, "mean_s": s.mean_s,
+                   "min_s": s.min_s, "max_s": s.max_s}
+                  for s in aggregate_spans(spans)],
+        "metrics": {name: dict(snap)
+                    for name, snap in sorted((metrics or {}).items())},
+    }
+
+
+def summarize_trace_file(path: str, top: int = 20) -> str:
+    """Replay a JSONL trace file into the same summary ``--profile`` prints."""
+    spans, metrics = load_jsonl(path)
+    return render_profile(spans, metrics, top=top)

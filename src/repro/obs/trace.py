@@ -1,0 +1,270 @@
+"""Structured tracing: nestable timed spans with JSONL export.
+
+A :class:`Tracer` records :class:`SpanRecord` entries for every timed
+span.  Spans nest through a *thread-local* context stack, so concurrent
+explorations (future sharded mappers) trace independently while sharing
+one record list; appends to the shared list are lock-protected.
+
+The module-level API is designed to be **zero-cost when disabled**:
+:func:`span` reads a single module global and, with no tracer installed,
+returns a shared no-op context manager without allocating anything.
+Instrumented hot paths therefore call ``with obs.span("stage"):``
+unconditionally.
+
+Trace files are JSON Lines: one object per finished span (plus metric
+lines appended by :func:`dump_jsonl`), replayable with :func:`load_jsonl`
+and the ``repro stats`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import (IO, Any, Callable, Dict, Iterable, List, Mapping,
+                    Optional, Tuple, Union)
+
+
+@dataclass
+class SpanRecord:
+    """One finished span: a named, timed slice of work."""
+
+    #: Unique id within the tracer (assigned at span *start*).
+    span_id: int
+    #: ``span_id`` of the enclosing span, or ``None`` for a root span.
+    parent_id: Optional[int]
+    name: str
+    category: str
+    start_s: float
+    end_s: float
+    #: Nesting depth at start (0 for a root span).
+    depth: int
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "cat": self.category,
+            "t0": self.start_s,
+            "t1": self.end_s,
+            "depth": self.depth,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_json(cls, obj: Mapping[str, Any]) -> "SpanRecord":
+        return cls(span_id=int(obj["id"]),
+                   parent_id=(None if obj.get("parent") is None
+                              else int(obj["parent"])),
+                   name=str(obj["name"]),
+                   category=str(obj.get("cat", "")),
+                   start_s=float(obj["t0"]),
+                   end_s=float(obj["t1"]),
+                   depth=int(obj.get("depth", 0)),
+                   attrs=dict(obj.get("attrs") or {}))
+
+
+class _NoopSpan:
+    """Shared do-nothing span used whenever tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _Span:
+    """Live span handle; becomes a :class:`SpanRecord` on exit."""
+
+    __slots__ = ("_tracer", "name", "category", "attrs",
+                 "span_id", "parent_id", "depth", "start_s")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str,
+                 attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.attrs = attrs
+
+    def set(self, **attrs: Any) -> "_Span":
+        """Attach attributes to the span while it is running."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        stack = tracer._stack()
+        self.parent_id = stack[-1].span_id if stack else None
+        self.depth = len(stack)
+        self.span_id = tracer._next_id()
+        stack.append(self)
+        self.start_s = tracer._clock()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        tracer = self._tracer
+        end_s = tracer._clock()
+        stack = tracer._stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        tracer._record(SpanRecord(
+            span_id=self.span_id, parent_id=self.parent_id,
+            name=self.name, category=self.category,
+            start_s=self.start_s, end_s=end_s,
+            depth=self.depth, attrs=self.attrs))
+        return False
+
+
+class Tracer:
+    """Collects spans; one instance per enabled tracing session.
+
+    ``clock`` is injectable for deterministic tests (defaults to
+    :func:`time.perf_counter`).
+    """
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._ids = 0
+        self.spans: List[SpanRecord] = []
+
+    # -- internal ------------------------------------------------------
+    def _stack(self) -> List[_Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _next_id(self) -> int:
+        with self._lock:
+            self._ids += 1
+            return self._ids
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self.spans.append(record)
+
+    # -- public --------------------------------------------------------
+    def span(self, name: str, category: str = "", **attrs: Any) -> _Span:
+        """A context manager timing one named slice of work."""
+        return _Span(self, name, category, attrs)
+
+    def dump_jsonl(self, path_or_file: Union[str, IO[str]],
+                   metrics: Optional[Mapping[str, Mapping[str, Any]]] = None
+                   ) -> None:
+        """Write spans (and an optional metrics snapshot) as JSON Lines."""
+        own = isinstance(path_or_file, str)
+        fh = open(path_or_file, "w") if own else path_or_file
+        try:
+            with self._lock:
+                spans = list(self.spans)
+            for record in spans:
+                fh.write(json.dumps(record.to_json()) + "\n")
+            for name, snap in sorted((metrics or {}).items()):
+                line = {"type": "metric", "name": name}
+                line.update(snap)
+                fh.write(json.dumps(line) + "\n")
+        finally:
+            if own:
+                fh.close()
+
+
+def load_jsonl(path_or_file: Union[str, IO[str]]
+               ) -> Tuple[List[SpanRecord], Dict[str, Dict[str, Any]]]:
+    """Read a trace file back into ``(spans, metrics_snapshot)``."""
+    own = isinstance(path_or_file, str)
+    fh = open(path_or_file) if own else path_or_file
+    spans: List[SpanRecord] = []
+    metrics: Dict[str, Dict[str, Any]] = {}
+    try:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            kind = obj.get("type")
+            if kind == "span":
+                spans.append(SpanRecord.from_json(obj))
+            elif kind == "metric":
+                name = str(obj["name"])
+                metrics[name] = {k: v for k, v in obj.items()
+                                 if k not in ("type", "name")}
+    finally:
+        if own:
+            fh.close()
+    return spans, metrics
+
+
+# ---------------------------------------------------------------------------
+# Module-level enable/disable + the zero-cost `span` entry point.
+
+_active: Optional[Tracer] = None
+
+
+def enable(tracer: Optional[Tracer] = None) -> Tracer:
+    """Install ``tracer`` (or a fresh one) as the active tracer."""
+    global _active
+    _active = tracer if tracer is not None else Tracer()
+    return _active
+
+
+def disable() -> Optional[Tracer]:
+    """Remove the active tracer; returns it so callers can export."""
+    global _active
+    tracer, _active = _active, None
+    return tracer
+
+
+def active() -> Optional[Tracer]:
+    return _active
+
+
+def is_enabled() -> bool:
+    return _active is not None
+
+
+def span(name: str, category: str = "", **attrs: Any):
+    """Timed span against the active tracer; no-op when disabled."""
+    tracer = _active
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.span(name, category, **attrs)
+
+
+def traced(name: Optional[str] = None, category: str = ""):
+    """Decorator wrapping a callable in a span (zero-cost when disabled).
+
+    Used by the experiment drivers so every figure/table regeneration
+    emits one top-level timing span named ``experiment.<function>``.
+    """
+    def decorate(fn: Callable) -> Callable:
+        label = name or f"experiment.{fn.__name__}"
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any):
+            tracer = _active
+            if tracer is None:
+                return fn(*args, **kwargs)
+            with tracer.span(label, category):
+                return fn(*args, **kwargs)
+        return wrapper
+    return decorate

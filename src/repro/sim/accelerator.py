@@ -26,6 +26,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from .. import obs
 from ..analysis import DataMovementAnalysis, DataMovementResult
 from ..analysis.energy import compute_energy
 from ..arch import Architecture
@@ -62,19 +63,34 @@ class SimulatedAccelerator:
     def run(self, tree: AnalysisTree,
             movement: Optional[DataMovementResult] = None
             ) -> SimulationReport:
-        movement = movement or DataMovementAnalysis(tree, self.arch).run()
-        self._tree = tree
-        self._movement = movement
-        self._word_bytes = {t.name: t.word_bytes
-                            for t in tree.workload.tensors()}
-        self._executions: Dict[int, float] = {}
-        self._count_executions(tree.root, 1.0)
-        self._retention: Dict[int, float] = {}
+        with obs.span("sim.run", "sim", tree=tree.name):
+            with obs.span("sim.movement", "sim"):
+                movement = (movement
+                            or DataMovementAnalysis(tree, self.arch).run())
+            self._tree = tree
+            self._movement = movement
+            self._word_bytes = {t.name: t.word_bytes
+                                for t in tree.workload.tensors()}
+            self._executions: Dict[int, float] = {}
+            self._count_executions(tree.root, 1.0)
+            self._retention: Dict[int, float] = {}
 
-        cycles = self._sim_node(tree.root, concurrency=1.0)
-        energy, traffic = self._energy(tree, movement)
+            with obs.span("sim.event_loop", "sim"):
+                cycles = self._sim_node(tree.root, concurrency=1.0)
+            with obs.span("sim.energy", "sim"):
+                energy, traffic = self._energy(tree, movement)
+            if obs.is_enabled():
+                self._record_occupancy(tree)
         return SimulationReport(cycles=cycles, energy_pj=energy,
                                 traffic_words=traffic)
+
+    def _record_occupancy(self, tree: AnalysisTree) -> None:
+        """Buffer-occupancy high-water marks (gauges track the max)."""
+        for node in tree.nodes():
+            flows = self._movement.flows(node)
+            staged = sum(w * self._word_bytes[t]
+                         for t, w in flows.staged_words.items())
+            obs.gauge(f"sim.occupancy_bytes.L{node.level}", staged)
 
     # ------------------------------------------------------------------
     def _count_executions(self, node: TileNode, times: float) -> None:
@@ -124,6 +140,7 @@ class SimulatedAccelerator:
     # ------------------------------------------------------------------
     def _sim_node(self, node: TileNode, concurrency: float) -> float:
         """Cycles of one execution of ``node`` (integer-cycle semantics)."""
+        obs.count("sim.events")
         source_level = (node.parent.level if node.parent is not None
                         else self.arch.dram_index)
         io_per_iter = 0.0

@@ -64,3 +64,90 @@ class TestJsonOutput:
         assert payload["arch"] == "Edge"
         assert payload["latency_cycles"] > 0
         assert "traffic" in payload and "violations" in payload
+
+    def test_evaluate_json_is_clean_despite_show_tree(self, capsys):
+        import json
+        # --show-tree headers must not interleave with the JSON payload.
+        assert main(["evaluate", "Bert-S", "tileflow", "--json",
+                     "--show-tree", "--show-notation"]) == 0
+        json.loads(capsys.readouterr().out)
+
+    def test_search_json(self, capsys):
+        import json
+        assert main(["search", "ViT/16-B", "--generations", "1",
+                     "--population", "4", "--samples", "3",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "best_factors" in payload and "trace" in payload
+        assert payload["result"]["latency_cycles"] > 0
+        assert payload["normalized_trace"][-1] in (0.0, 1.0)
+
+    def test_compare_json(self, capsys):
+        import json
+        assert main(["compare", "ViT/16-B", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [r["dataflow"] for r in payload["dataflows"]]
+        assert all("latency_cycles" in r for r in payload["dataflows"])
+
+
+class TestQuiet:
+    def test_quiet_suppresses_output(self, capsys):
+        assert main(["evaluate", "Bert-S", "tileflow", "--quiet"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_quiet_keeps_exit_code(self):
+        # infeasible mapping still signals through the return code
+        assert main(["evaluate", "Bert-S", "tileflow", "--quiet"]) in (0, 1)
+
+
+class TestObservabilityFlags:
+    def test_profile_prints_breakdown_to_stderr(self, capsys):
+        assert main(["evaluate", "Bert-S", "tileflow", "--profile"]) == 0
+        captured = capsys.readouterr()
+        assert "latency" in captured.out  # normal output untouched
+        assert "spans by self-time" in captured.err
+        assert "model.datamovement" in captured.err
+        assert "model.evaluations" in captured.err
+
+    def test_profile_does_not_pollute_json(self, capsys):
+        import json
+        assert main(["evaluate", "Bert-S", "tileflow", "--json",
+                     "--profile"]) == 0
+        json.loads(capsys.readouterr().out)
+
+    def test_search_profile_has_search_counters(self, capsys):
+        assert main(["search", "ViT/16-B", "--generations", "1",
+                     "--population", "4", "--samples", "3",
+                     "--profile"]) == 0
+        err = capsys.readouterr().err
+        assert "mapper.evaluations" in err
+        assert "mcts.samples" in err
+        assert "ga.generation" in err
+
+    def test_trace_then_stats_reproduces_summary(self, tmp_path, capsys):
+        trace = str(tmp_path / "search.jsonl")
+        assert main(["search", "ViT/16-B", "--generations", "1",
+                     "--population", "4", "--samples", "3",
+                     "--profile", "--trace", trace]) == 0
+        live = capsys.readouterr().err.strip()
+        assert main(["stats", trace]) == 0
+        replayed = capsys.readouterr().out.strip()
+        assert replayed == live
+
+    def test_stats_json(self, tmp_path, capsys):
+        import json
+        trace = str(tmp_path / "eval.jsonl")
+        assert main(["evaluate", "Bert-S", "tileflow", "--quiet",
+                     "--trace", trace]) == 0
+        capsys.readouterr()
+        assert main(["stats", trace, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {s["name"] for s in payload["spans"]}
+        assert "model.evaluate" in names
+        assert payload["metrics"]["model.evaluations"]["value"] == 1.0
+
+    def test_tracing_disabled_after_command(self):
+        from repro import obs
+        assert main(["evaluate", "Bert-S", "tileflow", "--quiet",
+                     "--profile"]) == 0
+        assert not obs.is_enabled()

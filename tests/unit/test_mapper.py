@@ -191,3 +191,47 @@ class TestGeneticExplorer:
         with pytest.raises(ValueError):
             GeneticExplorer(wl, lambda g, f: 1.0, population=4,
                             survivors=9)
+
+
+class TestMapperResult:
+    def _result(self, trace):
+        import json
+
+        from repro.mapper import TileFlowMapper
+        wl = self_attention(2, 32, 64, expand_softmax=False)
+        mapper = TileFlowMapper(wl, arch.edge(), seed=0)
+        result = mapper.explore(generations=1, population=4,
+                                mcts_samples=3)
+        result.trace = list(trace)
+        return result
+
+    def test_normalized_trace_guards_non_monotone(self):
+        # A regressing per-generation trace (survivor re-tuned worse)
+        # must normalize against the best-so-far cummin, not raw values.
+        result = self._result([5.0, 3.0, 4.0, 2.0])
+        assert result.cummin_trace() == [5.0, 3.0, 3.0, 2.0]
+        normalized = result.normalized_trace()
+        assert normalized == [2.0 / 5.0, 2.0 / 3.0, 2.0 / 3.0, 1.0]
+        # monotone non-decreasing, ending at exactly 1
+        assert all(a <= b + 1e-12 for a, b in
+                   zip(normalized, normalized[1:]))
+        assert normalized[-1] == 1.0
+
+    def test_normalized_trace_with_infeasible_prefix(self):
+        result = self._result([INFEASIBLE, INFEASIBLE, 4.0, 8.0])
+        assert result.normalized_trace() == [0.0, 0.0, 1.0, 1.0]
+
+    def test_normalized_trace_all_infeasible(self):
+        result = self._result([INFEASIBLE, INFEASIBLE])
+        assert result.normalized_trace() == [0.0, 0.0]
+
+    def test_to_dict_is_strict_json(self):
+        import json
+        result = self._result([5.0, INFEASIBLE, 2.0])
+        payload = result.to_dict()
+        text = json.dumps(payload, allow_nan=False)  # no Infinity/NaN
+        assert json.loads(text)["trace"] == [5.0, None, 2.0]
+        assert payload["best_so_far_trace"] == [5.0, 5.0, 2.0]
+        assert payload["best_factors"] == result.best_factors
+        assert payload["result"]["latency_cycles"] > 0
+        assert isinstance(payload["best_genome"], str)

@@ -1,0 +1,290 @@
+"""Unit tests for the observability layer (repro.obs)."""
+
+import io
+import json
+import time
+
+import pytest
+
+from repro import arch, obs, workloads
+from repro.analysis import TileFlowModel
+from repro.dataflows import attention_dataflow
+from repro.mapper import TileFlowMapper
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Never leak an enabled tracer/registry into other tests."""
+    yield
+    obs.disable()
+    obs_metrics.registry().reset()
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by ``step`` seconds."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestSpans:
+    def test_nesting_parent_and_depth(self):
+        tracer = obs.enable(obs.Tracer(clock=FakeClock()))
+        with obs.span("outer"):
+            with obs.span("inner"):
+                pass
+        obs.disable()
+        inner, outer = tracer.spans  # inner finishes (is recorded) first
+        assert inner.name == "inner" and outer.name == "outer"
+        assert inner.parent_id == outer.span_id
+        assert inner.depth == 1 and outer.depth == 0
+        assert outer.parent_id is None
+
+    def test_timing_uses_clock(self):
+        tracer = obs.Tracer(clock=FakeClock(step=1.0))
+        with tracer.span("a"):
+            pass
+        (span,) = tracer.spans
+        assert span.duration_s == pytest.approx(1.0)
+
+    def test_attrs_and_set(self):
+        tracer = obs.enable()
+        with obs.span("a", "cat", tree="t1") as span:
+            span.set(extra=3)
+        obs.disable()
+        assert tracer.spans[0].attrs == {"tree": "t1", "extra": 3}
+        assert tracer.spans[0].category == "cat"
+
+    def test_exception_still_records_span(self):
+        tracer = obs.enable()
+        with pytest.raises(RuntimeError):
+            with obs.span("boom"):
+                raise RuntimeError("x")
+        obs.disable()
+        assert [s.name for s in tracer.spans] == ["boom"]
+
+    def test_disabled_is_shared_noop(self):
+        assert not obs.is_enabled()
+        span = obs.span("anything")
+        assert span is obs.NOOP_SPAN
+        with span as s:
+            s.set(ignored=True)
+
+    def test_traced_decorator(self):
+        calls = []
+
+        @obs.traced("custom.name")
+        def work(x):
+            calls.append(x)
+            return x * 2
+
+        assert work(3) == 6  # disabled: pass-through
+        tracer = obs.enable()
+        assert work(4) == 8
+        obs.disable()
+        assert calls == [3, 4]
+        assert [s.name for s in tracer.spans] == ["custom.name"]
+
+
+class TestMetrics:
+    def test_counter_aggregation(self):
+        obs.enable()
+        obs.count("c")
+        obs.count("c", 4)
+        snap = obs.metrics_snapshot()
+        assert snap["c"] == {"kind": "counter", "value": 5.0}
+
+    def test_gauge_high_water(self):
+        obs.enable()
+        obs.gauge("g", 2.0)
+        obs.gauge("g", 9.0)
+        obs.gauge("g", 5.0)
+        snap = obs.metrics_snapshot()["g"]
+        assert snap["value"] == 5.0
+        assert snap["max"] == 9.0 and snap["min"] == 2.0
+
+    def test_histogram(self):
+        obs.enable()
+        for v in (1.0, 3.0):
+            obs.observe("h", v)
+        snap = obs.metrics_snapshot()["h"]
+        assert snap["count"] == 2 and snap["sum"] == 4.0
+        assert snap["mean"] == 2.0 and snap["max"] == 3.0
+
+    def test_disabled_records_nothing(self):
+        obs.count("nope")
+        obs.gauge("nope_g", 1.0)
+        obs.observe("nope_h", 1.0)
+        assert obs.metrics_snapshot() == {}
+
+    def test_kind_clash_rejected(self):
+        registry = obs_metrics.MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_enable_resets(self):
+        obs.enable()
+        obs.count("c")
+        obs.enable()  # fresh session
+        assert obs.metrics_snapshot() == {}
+
+
+class TestJsonlRoundTrip:
+    def _session(self):
+        tracer = obs.enable(obs.Tracer(clock=FakeClock(step=0.5)))
+        with obs.span("outer", "cat", tree="t"):
+            with obs.span("inner"):
+                pass
+        obs.count("evals", 3)
+        obs.gauge("best", 42.0)
+        obs.disable()
+        return tracer, obs.metrics_snapshot()
+
+    def test_round_trip_preserves_everything(self, tmp_path):
+        tracer, snapshot = self._session()
+        path = str(tmp_path / "trace.jsonl")
+        tracer.dump_jsonl(path, metrics=snapshot)
+        spans, metrics = obs.load_jsonl(path)
+        assert [(s.name, s.span_id, s.parent_id, s.depth, s.attrs)
+                for s in spans] == \
+               [(s.name, s.span_id, s.parent_id, s.depth, s.attrs)
+                for s in tracer.spans]
+        assert spans[0].duration_s == tracer.spans[0].duration_s
+        assert metrics == snapshot
+
+    def test_replay_renders_identical_summary(self, tmp_path):
+        tracer, snapshot = self._session()
+        live = obs.render_profile(tracer.spans, snapshot)
+        buf = io.StringIO()
+        tracer.dump_jsonl(buf, metrics=snapshot)
+        buf.seek(0)
+        spans, metrics = obs.load_jsonl(buf)
+        assert obs.render_profile(spans, metrics) == live
+
+
+class TestAggregation:
+    def test_self_time_excludes_children(self):
+        tracer = obs.Tracer(clock=FakeClock(step=1.0))
+        # Clock reads: outer-start=0, inner-start=1, inner-end=2,
+        # outer-end=3 -> inner total 1s, outer total 3s, outer self 2s.
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        stats = {s.name: s for s in obs.aggregate_spans(tracer.spans)}
+        assert stats["inner"].total_s == pytest.approx(1.0)
+        assert stats["outer"].total_s == pytest.approx(3.0)
+        assert stats["outer"].self_s == pytest.approx(2.0)
+        assert stats["inner"].count == stats["outer"].count == 1
+
+    def test_sorted_by_self_time(self):
+        tracer = obs.Tracer(clock=FakeClock(step=1.0))
+        with tracer.span("short"):
+            pass
+        with tracer.span("long"):
+            with tracer.span("mid"):
+                pass
+        names = [s.name for s in obs.aggregate_spans(tracer.spans)]
+        assert names[0] == "long"
+
+
+class TestModelInstrumentation:
+    def _evaluate(self):
+        wl = workloads.self_attention(2, 32, 64, expand_softmax=False)
+        spec = arch.edge()
+        tree = attention_dataflow("flat_rgran", wl, spec)
+        return TileFlowModel(spec).evaluate(tree)
+
+    def test_stage_spans_and_counters(self):
+        tracer = obs.enable()
+        self._evaluate()
+        obs.disable()
+        names = {s.name for s in tracer.spans}
+        assert {"model.evaluate", "model.validate", "model.datamovement",
+                "model.resources", "model.latency",
+                "model.energy"} <= names
+        snap = obs.metrics_snapshot()
+        assert snap["model.evaluations"]["value"] == 1.0
+
+    def test_noop_overhead_within_noise(self):
+        """Disabled-mode spans must cost < 5% of one model evaluation.
+
+        Measures the no-op span path directly (the only cost tracing
+        adds to an evaluate call when disabled) against the wall time of
+        the evaluation it would wrap, on a cached small workload.
+        """
+        assert not obs.is_enabled()
+        wl = workloads.self_attention(2, 32, 64, expand_softmax=False)
+        spec = arch.edge()
+        tree = attention_dataflow("flat_rgran", wl, spec)
+        model = TileFlowModel(spec)
+        model.evaluate(tree)  # warm caches
+        repeats = 5
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            model.evaluate(tree)
+        eval_s = (time.perf_counter() - t0) / repeats
+
+        spans_per_eval = 6  # evaluate + 5 stages
+        rounds = 2000
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            with obs.span("model.evaluate", "analysis", tree="x"):
+                for _ in range(spans_per_eval - 1):
+                    with obs.span("stage", "analysis"):
+                        pass
+        noop_s = (time.perf_counter() - t0) / rounds
+        assert noop_s < 0.05 * eval_s, (noop_s, eval_s)
+
+
+class TestMapperDeterminism:
+    def test_tracing_does_not_change_search(self):
+        wl = workloads.self_attention(2, 32, 64, expand_softmax=False)
+        spec = arch.edge()
+        baseline = TileFlowMapper(wl, spec, seed=0).explore(
+            generations=2, population=4, mcts_samples=4)
+        obs.enable()
+        traced = TileFlowMapper(wl, spec, seed=0).explore(
+            generations=2, population=4, mcts_samples=4)
+        obs.disable()
+        assert traced.best_cost == baseline.best_cost
+        assert traced.trace == baseline.trace
+        assert traced.best_factors == baseline.best_factors
+        snap = obs.metrics_snapshot()
+        assert snap["mapper.evaluations"]["value"] > 0
+        assert snap["mcts.samples"]["value"] > 0
+
+    def test_mapper_spans_present(self):
+        wl = workloads.self_attention(2, 32, 64, expand_softmax=False)
+        tracer = obs.enable()
+        TileFlowMapper(wl, arch.edge(), seed=0).explore(
+            generations=1, population=4, mcts_samples=2)
+        obs.disable()
+        names = {s.name for s in tracer.spans}
+        assert {"mapper.explore", "ga.generation", "mcts.sample"} <= names
+
+
+class TestSimInstrumentation:
+    def test_sim_events_and_occupancy(self):
+        from repro.sim import SimulatedAccelerator
+        wl = workloads.self_attention(2, 32, 64, expand_softmax=False)
+        spec = arch.edge()
+        tree = attention_dataflow("flat_rgran", wl, spec)
+        tracer = obs.enable()
+        SimulatedAccelerator(spec).run(tree)
+        obs.disable()
+        names = {s.name for s in tracer.spans}
+        assert {"sim.run", "sim.event_loop", "sim.energy"} <= names
+        snap = obs.metrics_snapshot()
+        assert snap["sim.events"]["value"] > 0
+        occupancy = [n for n in snap if n.startswith("sim.occupancy_bytes.")]
+        assert occupancy
+        assert all(snap[n]["max"] >= 0 for n in occupancy)
