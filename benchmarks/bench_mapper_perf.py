@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""Mapper throughput benchmark: evaluation engine on vs off.
+
+Runs the same GA+MCTS exploration (fixed seed) under three configs:
+
+* ``serial_uncached`` — the pre-engine behavior: no memo cache, no
+  feasibility pre-screen, survivors re-tuned every generation.
+* ``serial_cached``   — the engine defaults: LRU memo cache, pre-screen,
+  elite fitness carried forward.
+* ``parallel_cached`` — ``serial_cached`` plus a worker pool
+  (``--workers``, default 4).
+
+Emits ``BENCH_mapper.json`` with wall times, engine-effectiveness
+counters, speedups over the uncached baseline, and a determinism check
+asserting the serial and parallel runs produce byte-identical
+``MapperResult.to_dict()`` output (the contract in docs/PERFORMANCE.md).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_mapper_perf.py
+
+Not a pytest bench: this measures the search loop itself, not a paper
+figure, so it lives beside the harness rather than in it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from typing import Dict
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import arch as arch_mod  # noqa: E402
+from repro import workloads  # noqa: E402
+from repro.engine import EvaluationEngine  # noqa: E402
+from repro.mapper import TileFlowMapper  # noqa: E402
+
+
+def run_config(name: str, args: argparse.Namespace, *, workers: int,
+               cache_size: int, prescreen: bool,
+               reuse_elites: bool) -> Dict[str, object]:
+    workload = workloads.self_attention(args.heads, args.seq, args.hidden,
+                                        expand_softmax=False)
+    spec = arch_mod.edge()
+    engine = EvaluationEngine(workload, spec, respect_memory=True,
+                              workers=workers, cache_size=cache_size,
+                              prescreen=prescreen)
+    mapper = TileFlowMapper(workload, spec, respect_memory=True,
+                            seed=args.seed, engine=engine)
+    start = time.perf_counter()
+    try:
+        result = mapper.explore(generations=args.generations,
+                                population=args.population,
+                                mcts_samples=args.samples,
+                                reuse_elites=reuse_elites)
+    finally:
+        engine.shutdown()
+    seconds = time.perf_counter() - start
+    stats = engine.stats
+    evals = stats.evaluations
+    return {
+        "name": name,
+        "workers": workers,
+        "cache_size": cache_size,
+        "prescreen": prescreen,
+        "reuse_elites": reuse_elites,
+        "seconds": seconds,
+        "best_cost": (None if result.best_cost == float("inf")
+                      else result.best_cost),
+        "engine_stats": stats.to_dict(),
+        "cache_hit_rate": stats.hit_rate,
+        "full_evaluations_per_second": evals / seconds if seconds else 0.0,
+        "_to_dict": result.to_dict(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--generations", type=int, default=12)
+    parser.add_argument("--population", type=int, default=12)
+    parser.add_argument("--samples", type=int, default=20,
+                        help="MCTS samples per genome tune")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="pool width for the parallel_cached config")
+    parser.add_argument("--heads", type=int, default=4)
+    parser.add_argument("--seq", type=int, default=512)
+    parser.add_argument("--hidden", type=int, default=256)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default="BENCH_mapper.json")
+    args = parser.parse_args(argv)
+
+    configs = [
+        ("serial_uncached",
+         dict(workers=1, cache_size=0, prescreen=False, reuse_elites=False)),
+        ("serial_cached",
+         dict(workers=1, cache_size=4096, prescreen=True,
+              reuse_elites=True)),
+        ("parallel_cached",
+         dict(workers=args.workers, cache_size=4096, prescreen=True,
+              reuse_elites=True)),
+    ]
+    runs = []
+    for name, kwargs in configs:
+        print(f"[bench] {name} ...", flush=True)
+        run = run_config(name, args, **kwargs)
+        print(f"[bench]   {run['seconds']:.3f}s, "
+              f"{run['engine_stats']['evaluations']} full evaluations, "
+              f"hit rate {run['cache_hit_rate'] * 100:.1f}%", flush=True)
+        runs.append(run)
+
+    by_name = {run["name"]: run for run in runs}
+    baseline = by_name["serial_uncached"]["seconds"]
+    serial_dict = json.dumps(by_name["serial_cached"].pop("_to_dict"),
+                             sort_keys=True)
+    parallel_dict = json.dumps(by_name["parallel_cached"].pop("_to_dict"),
+                               sort_keys=True)
+    by_name["serial_uncached"].pop("_to_dict")
+
+    report = {
+        "benchmark": "mapper_perf",
+        "params": {"generations": args.generations,
+                   "population": args.population,
+                   "mcts_samples": args.samples,
+                   "workers": args.workers,
+                   "workload": f"attention(h={args.heads}, s={args.seq}, "
+                               f"d={args.hidden})",
+                   "seed": args.seed},
+        "cpu_count": os.cpu_count(),
+        "configs": runs,
+        "speedup_over_serial_uncached": {
+            run["name"]: baseline / run["seconds"] if run["seconds"] else 0.0
+            for run in runs},
+        "determinism": {
+            "serial_vs_parallel_to_dict_identical":
+                serial_dict == parallel_dict,
+        },
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[bench] wrote {args.out}")
+    speedup = report["speedup_over_serial_uncached"]["parallel_cached"]
+    print(f"[bench] parallel_cached speedup over baseline: {speedup:.2f}x")
+    if not report["determinism"]["serial_vs_parallel_to_dict_identical"]:
+        print("[bench] ERROR: serial and parallel results differ",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

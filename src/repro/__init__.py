@@ -23,8 +23,8 @@ of every table and figure in the paper's evaluation.
 
 __version__ = "1.0.0"
 
-from . import (analysis, arch, baselines, dataflows, ir, mapper, obs, sim,
-               tile, workloads)
+from . import (analysis, arch, baselines, dataflows, engine, ir, mapper,
+               obs, sim, tile, workloads)
 
-__all__ = ["analysis", "arch", "baselines", "dataflows", "ir", "mapper",
-           "obs", "sim", "tile", "workloads", "__version__"]
+__all__ = ["analysis", "arch", "baselines", "dataflows", "engine", "ir",
+           "mapper", "obs", "sim", "tile", "workloads", "__version__"]

@@ -129,7 +129,8 @@ def cmd_search(args) -> int:
     w = args.writer
     workload = _workload(args)
     spec = arch_mod.by_name(args.arch)
-    mapper = TileFlowMapper(workload, spec, seed=args.seed)
+    mapper = TileFlowMapper(workload, spec, seed=args.seed,
+                            workers=args.workers)
     result = mapper.explore(generations=args.generations,
                             population=args.population,
                             mcts_samples=args.samples)
@@ -277,6 +278,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--population", type=int, default=10)
     p.add_argument("--samples", type=int, default=20)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes for population evaluation "
+                        "(results are identical for any value; see "
+                        "docs/PERFORMANCE.md)")
     p.set_defaults(func=cmd_search)
 
     p = sub.add_parser("validate", parents=[common],

@@ -1,0 +1,25 @@
+"""Evaluation engine: memoized, pre-screened, parallel mapping evaluation.
+
+The engine sits between the mapper's search loops (GA + MCTS,
+``tune_template``) and the analytical model.  See
+``docs/PERFORMANCE.md`` for the signature scheme, cache semantics, the
+determinism contract, and guidance on picking ``--workers``.
+"""
+
+from .cache import LRUCache
+from .core import DEFAULT_CACHE_SIZE, EngineStats, EvaluationEngine
+from .prescreen import (PRESCREEN_TAG, compute_demand, is_prescreened,
+                        prescreen, rejected_result)
+from .signature import (arch_fingerprint, digest, factors_fingerprint,
+                        genome_fingerprint, mapping_signature,
+                        template_signature, workload_fingerprint)
+
+__all__ = [
+    "EvaluationEngine", "EngineStats", "DEFAULT_CACHE_SIZE",
+    "LRUCache",
+    "prescreen", "compute_demand", "rejected_result", "is_prescreened",
+    "PRESCREEN_TAG",
+    "mapping_signature", "template_signature", "workload_fingerprint",
+    "arch_fingerprint", "genome_fingerprint", "factors_fingerprint",
+    "digest",
+]

@@ -1,0 +1,59 @@
+"""Bounded LRU memo cache for evaluation results.
+
+A thin :class:`collections.OrderedDict` wrapper with move-to-end-on-hit
+semantics and a hard entry bound.  ``maxsize <= 0`` disables the cache
+entirely (every ``get`` misses, ``put`` is a no-op) so callers can switch
+memoization off — the benchmark's uncached baseline — without branching
+at every call site.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Hashable, Optional
+
+
+class LRUCache:
+    """Least-recently-used mapping with a fixed capacity."""
+
+    def __init__(self, maxsize: int = 4096):
+        self.maxsize = int(maxsize)
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.maxsize > 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        """The cached value, refreshed as most-recently-used; None on miss."""
+        if not self.enabled:
+            self.misses += 1
+            return None
+        value = self._data.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if not self.enabled or value is None:
+            return
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._data.clear()

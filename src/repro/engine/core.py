@@ -1,0 +1,330 @@
+"""The evaluation engine: memoized, pre-screened, parallel mapping evaluation.
+
+:class:`EvaluationEngine` sits between the mapper's search loops and
+:class:`~repro.analysis.model.TileFlowModel`.  Every complete mapping
+(genome + tiling factors, or template + tiling factors) is reduced to a
+canonical signature (:mod:`repro.engine.signature`) backing a bounded LRU
+cache of :class:`~repro.analysis.metrics.EvaluationResult`s, so repeated
+points — across MCTS samples, GA generations, and ``tune_template``
+calls sharing one engine — are never analysed twice.  Cache misses first
+pass the cheap feasibility pre-screen (:mod:`repro.engine.prescreen`);
+only candidates it cannot reject pay for the full five-stage analysis.
+
+``workers > 1`` adds process-level parallelism for GA populations: each
+genome's MCTS factor tune is an independent task (the per-genome seeds
+are drawn up front by the caller from the generation RNG), tasks are
+dispatched to a persistent :class:`~concurrent.futures.ProcessPoolExecutor`,
+and results are collected in submission order — so results are
+deterministic and byte-identical regardless of worker count.  Platforms
+without usable multiprocessing (or ``workers=1``) fall back to the
+serial path transparently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .. import obs
+from ..analysis import EvaluationResult, TileFlowModel
+from ..arch import Architecture
+from ..ir import Workload
+from ..mapper.cost import Cost, edp_cost, latency_cost
+from ..mapper.encoding import (Genome, build_genome_tree,
+                               genome_factor_space)
+from ..mapper.mcts import MCTSTuner
+from ..tile.tree import AnalysisTree
+from .cache import LRUCache
+from .prescreen import is_prescreened, prescreen, rejected_result
+from .signature import (arch_fingerprint, mapping_signature,
+                        template_signature, workload_fingerprint)
+
+TemplateFn = Callable[..., AnalysisTree]
+
+#: Default memo-cache bound (entries, not bytes; results are small).
+DEFAULT_CACHE_SIZE = 4096
+
+_OBJECTIVES: Dict[str, Callable[[EvaluationResult, bool], Cost]] = {
+    "latency": latency_cost,
+    "edp": edp_cost,
+}
+
+
+@dataclass
+class EngineStats:
+    """Aggregate engine effectiveness counters (serial + worker merged)."""
+
+    cache_hits: int = 0
+    cache_misses: int = 0
+    evaluations: int = 0
+    prescreen_rejects: int = 0
+    parallel_tasks: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def merge(self, delta: Mapping[str, int]) -> None:
+        for name, n in delta.items():
+            setattr(self, name, getattr(self, name) + int(n))
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+
+class EvaluationEngine:
+    """Evaluates mappings for one (workload, architecture) pair.
+
+    Parameters
+    ----------
+    workload, arch:
+        The search context; both are folded into every cache signature.
+    respect_memory:
+        Passed to the cost objective; also disables the memory half of
+        the pre-screen (capacity violations are not rejections then).
+    workers:
+        Process-pool width for :meth:`tune_population`.  ``1`` (default)
+        keeps everything in-process.
+    cache_size:
+        LRU bound; ``0`` disables memoization (benchmark baseline).
+    prescreen:
+        Run the cheap feasibility screen before full evaluations.
+    model_eviction, model_rmw:
+        Forwarded to :class:`TileFlowModel` (ablation switches).
+    objective:
+        ``"latency"`` or ``"edp"`` — named so worker processes can
+        reconstruct the engine from picklable configuration.
+    """
+
+    def __init__(self, workload: Workload, arch: Architecture, *,
+                 respect_memory: bool = True, workers: int = 1,
+                 cache_size: int = DEFAULT_CACHE_SIZE,
+                 prescreen: bool = True, model_eviction: bool = True,
+                 model_rmw: bool = True, objective: str = "latency"):
+        if objective not in _OBJECTIVES:
+            raise ValueError(f"unknown objective {objective!r}; choose from "
+                             f"{sorted(_OBJECTIVES)}")
+        self.workload = workload
+        self.arch = arch
+        self.respect_memory = respect_memory
+        self.workers = max(1, int(workers))
+        self.prescreen_enabled = prescreen
+        self.objective = objective
+        self.model = TileFlowModel(arch, model_eviction=model_eviction,
+                                   model_rmw=model_rmw)
+        self.stats = EngineStats()
+        self._cache = LRUCache(cache_size)
+        self._cache_size = cache_size
+        self._base = (workload_fingerprint(workload), arch_fingerprint(arch),
+                      model_eviction, model_rmw)
+        self._cost_fn = _OBJECTIVES[objective]
+        self._templates: Dict[int, Tuple[str, TemplateFn]] = {}
+        self._pool = None
+        self._pool_broken = False
+
+    # -- configuration ---------------------------------------------------
+    def config(self) -> Dict[str, object]:
+        """Picklable kwargs reproducing this engine (minus workers)."""
+        return {
+            "respect_memory": self.respect_memory,
+            "cache_size": self._cache_size,
+            "prescreen": self.prescreen_enabled,
+            "model_eviction": self.model.model_eviction,
+            "model_rmw": self.model.model_rmw,
+            "objective": self.objective,
+        }
+
+    def cost_of(self, result: EvaluationResult) -> Cost:
+        """The search objective of an evaluated mapping."""
+        return self._cost_fn(result, self.respect_memory)
+
+    # -- bookkeeping -----------------------------------------------------
+    def _bump(self, name: str, n: int = 1) -> None:
+        setattr(self.stats, name, getattr(self.stats, name) + n)
+        obs.count(f"engine.{name}", n)
+
+    # -- memoized evaluation ---------------------------------------------
+    def _evaluate_key(self, key, tree_of: Callable[[], AnalysisTree],
+                      full: bool = False) -> EvaluationResult:
+        cached = self._cache.get(key)
+        if cached is not None and not (full and is_prescreened(cached)):
+            self._bump("cache_hits")
+            return cached
+        self._bump("cache_misses")
+        tree = tree_of()
+        result: Optional[EvaluationResult] = None
+        if self.prescreen_enabled and not full:
+            violations = prescreen(tree, self.arch,
+                                   check_memory=self.respect_memory)
+            if violations:
+                self._bump("prescreen_rejects")
+                result = rejected_result(tree, self.arch, violations)
+        if result is None:
+            self._bump("evaluations")
+            result = self.model.evaluate(tree)
+        self._cache.put(key, result)
+        return result
+
+    def evaluate_genome(self, genome: Genome,
+                        factors: Mapping[str, int],
+                        full: bool = False) -> EvaluationResult:
+        """Memoized evaluation of one genome mapping.
+
+        ``full=True`` guarantees a completely analysed result (champion
+        reporting): pre-screen short-circuits are bypassed and any cached
+        placeholder is replaced by a real evaluation.
+        """
+        key = mapping_signature(self._base, genome, factors)
+        return self._evaluate_key(
+            key, lambda: build_genome_tree(self.workload, self.arch,
+                                           genome, factors), full=full)
+
+    def genome_cost(self, genome: Genome,
+                    factors: Mapping[str, int]) -> Cost:
+        cost = self.cost_of(self.evaluate_genome(genome, factors))
+        obs.count("mapper.evaluations")
+        if cost == float("inf"):
+            obs.count("mapper.infeasible")
+        return cost
+
+    # -- templates -------------------------------------------------------
+    def _template_token(self, template: TemplateFn) -> str:
+        entry = self._templates.get(id(template))
+        if entry is None:
+            token = (f"{getattr(template, '__qualname__', 'template')}"
+                     f"#{len(self._templates)}")
+            # Hold a strong reference so id() stays unambiguous.
+            self._templates[id(template)] = (token, template)
+            return token
+        return entry[0]
+
+    def evaluate_template(self, template: TemplateFn,
+                          factors: Mapping[str, int],
+                          full: bool = False) -> EvaluationResult:
+        """Memoized evaluation of a named-dataflow template point."""
+        key = template_signature(self._base, self._template_token(template),
+                                 factors)
+        return self._evaluate_key(
+            key, lambda: template(self.workload, self.arch, dict(factors)),
+            full=full)
+
+    # -- per-genome MCTS tuning ------------------------------------------
+    def tune_genome(self, genome: Genome, seed: int,
+                    samples: int) -> Tuple[Cost, Dict[str, int]]:
+        """One MCTS factor tune of one genome (the GA fitness)."""
+        space = genome_factor_space(self.workload, genome)
+        tuner = MCTSTuner(space,
+                          lambda point: self.genome_cost(genome, point),
+                          seed=seed)
+        point, cost = tuner.search(samples)
+        return cost, (point or {})
+
+    def tune_population(self, genomes: Sequence[Genome],
+                        seeds: Sequence[int],
+                        samples: int) -> List[Tuple[Cost, Dict[str, int]]]:
+        """Fitness of a GA generation, parallel when ``workers > 1``.
+
+        Results are returned in input order; per-genome outcomes depend
+        only on (genome, seed, samples), so serial and parallel runs are
+        byte-identical.
+        """
+        if len(genomes) != len(seeds):
+            raise ValueError("genomes and seeds must have equal length")
+        pool = self._ensure_pool() if self.workers > 1 else None
+        if pool is None:
+            return [self.tune_genome(g, s, samples)
+                    for g, s in zip(genomes, seeds)]
+        try:
+            futures = [pool.submit(_worker_tune, genome, seed, samples)
+                       for genome, seed in zip(genomes, seeds)]
+            out: List[Tuple[Cost, Dict[str, int]]] = []
+            for future in futures:
+                cost, factors, delta, elapsed = future.result()
+                self.stats.merge(delta)
+                for name, n in delta.items():
+                    obs.count(f"engine.{name}", n)
+                # Worker-side ``genome_cost`` calls count one cache
+                # lookup each; replay them into the mapper's counter,
+                # which the workers' private obs registries never ship.
+                obs.count("mapper.evaluations",
+                          delta.get("cache_hits", 0)
+                          + delta.get("cache_misses", 0))
+                self._bump("parallel_tasks")
+                obs.observe("engine.task_seconds", elapsed)
+                out.append((cost, factors))
+            return out
+        except Exception:
+            # Broken pool (killed worker, unpicklable payload, ...):
+            # disable parallelism and redo the whole batch serially —
+            # the outcome is identical, only slower.
+            self._teardown_pool(broken=True)
+            return [self.tune_genome(g, s, samples)
+                    for g, s in zip(genomes, seeds)]
+
+    # -- process pool ----------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is not None or self._pool_broken:
+            return self._pool
+        try:
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+
+            try:
+                context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX platforms
+                context = multiprocessing.get_context()
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context,
+                initializer=_worker_init,
+                initargs=(self.workload, self.arch, self.config()))
+            obs.gauge("engine.workers", self.workers)
+        except Exception:  # pragma: no cover - platform-dependent
+            self._pool_broken = True
+            self._pool = None
+        return self._pool
+
+    def _teardown_pool(self, broken: bool = False) -> None:
+        pool, self._pool = self._pool, None
+        self._pool_broken = self._pool_broken or broken
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self) -> None:
+        """Release the worker pool (idempotent; engine stays usable)."""
+        self._teardown_pool()
+
+    def __enter__(self) -> "EvaluationEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+# ---------------------------------------------------------------------------
+# Worker-process side.  Each worker holds one serial engine, built once by
+# the pool initializer; its private cache stays warm across the tasks (and
+# GA generations) the worker serves, and its counter deltas are shipped
+# back with every result for the parent to merge.
+
+_WORKER_ENGINE: Optional[EvaluationEngine] = None
+
+
+def _worker_init(workload: Workload, arch: Architecture,
+                 config: Dict[str, object]) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = EvaluationEngine(workload, arch, workers=1, **config)
+
+
+def _worker_tune(genome: Genome, seed: int, samples: int):
+    import time
+
+    engine = _WORKER_ENGINE
+    assert engine is not None, "worker pool initializer did not run"
+    before = engine.stats.to_dict()
+    start = time.perf_counter()
+    cost, factors = engine.tune_genome(genome, seed, samples)
+    elapsed = time.perf_counter() - start
+    after = engine.stats.to_dict()
+    delta = {name: after[name] - before[name] for name in after}
+    return cost, factors, delta, elapsed

@@ -1,0 +1,129 @@
+"""Cheap feasibility pre-screen for complete mappings.
+
+Before the engine pays for a full five-stage evaluation it bounds the
+mapping's resource demands from the tree structure alone:
+
+* **Compute** — the §5.2 ``NumPE`` recursion is purely structural, so the
+  pre-screen computes it exactly and compares against the PE pools.
+* **Memory** — for every node whose level has finite capacity, the bytes
+  staged by that node's own slices are a *lower bound* on the level's
+  final per-instance footprint: the full analysis adds child
+  contributions and double-buffering on top and never subtracts.  Slice
+  extents come from the same :mod:`repro.analysis.slices` arithmetic the
+  real analysis uses, but the expensive reuse-walk volumes, latency, and
+  energy stages are all skipped.
+
+Both bounds are conservative by construction: the pre-screen never
+rejects a mapping the full model would find feasible (property-tested in
+``tests/property/test_prop_engine.py``), so search trajectories are
+identical with and without it — rejected points would have cost
+``INFEASIBLE`` either way.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..analysis.metrics import EvaluationResult, ResourceUsage
+from ..analysis.slices import box_volume, merged_extents, slice_extents
+from ..arch import Architecture
+from ..tile.tree import AnalysisTree, FusionNode, OpTile, TileNode
+
+#: Suffix marking violations produced by the pre-screen (the engine uses
+#: it to recognise short-circuited results and re-evaluate champions).
+PRESCREEN_TAG = "(prescreen lower bound)"
+
+
+def compute_demand(node: TileNode) -> Tuple[int, int]:
+    """(MAC PEs, vector PEs) used concurrently by the subtree.
+
+    Mirrors :meth:`repro.analysis.resources.ResourceAnalysis._num_pe`
+    exactly — the recursion needs no data-movement information.
+    """
+    if node.is_leaf():
+        assert isinstance(node, OpTile)
+        used = node.spatial_trip_count
+        return (used, 0) if node.op.kind == "mac" else (0, used)
+    sp = node.spatial_trip_count
+    if isinstance(node, OpTile):
+        mac, vec = compute_demand(node.child)
+        return sp * mac, sp * vec
+    assert isinstance(node, FusionNode)
+    demands = [compute_demand(c) for c in node.children]
+    if node.binding.shares_compute_in_time:
+        mac = max(d[0] for d in demands)
+        vec = max(d[1] for d in demands)
+    else:
+        mac = sum(d[0] for d in demands)
+        vec = sum(d[1] for d in demands)
+    return sp * mac, sp * vec
+
+
+def _staged_bytes_lower_bound(tree: AnalysisTree, node: TileNode) -> float:
+    """Bytes one instance of ``node``'s buffer must hold per time step.
+
+    Sums each tensor's bounding-box slice over the accesses below the
+    node — the single-buffered floor of the resource analysis's
+    ``_staged_bytes`` (which additionally doubles crossing tensors).
+    """
+    per_tensor: Dict[str, List[Tuple[int, ...]]] = {}
+    for leaf in node.leaves():
+        for access in leaf.op.all_accesses():
+            per_tensor.setdefault(access.tensor.name, []).append(
+                slice_extents(node, leaf, access))
+    total = 0.0
+    for tensor_name, extents_list in per_tensor.items():
+        words = box_volume(merged_extents(extents_list))
+        total += words * tree.workload.tensor(tensor_name).word_bytes
+    return total
+
+
+def prescreen(tree: AnalysisTree, arch: Architecture,
+              check_memory: bool = True) -> List[str]:
+    """Violations provable without the full analysis (empty = may pass).
+
+    Returns at most one compute and one memory violation — the screen
+    stops at the first proof of infeasibility per resource class, since
+    one is enough to reject.
+    """
+    problems: List[str] = []
+    mac, vec = compute_demand(tree.root)
+    if mac > arch.pe_count:
+        problems.append(f"compute: {mac} MAC PEs needed, "
+                        f"{arch.pe_count} available {PRESCREEN_TAG}")
+    elif vec > arch.vector_pe_count:
+        problems.append(f"compute: {vec} vector lanes needed, "
+                        f"{arch.vector_pe_count} available {PRESCREEN_TAG}")
+    if not check_memory:
+        return problems
+    for node in tree.nodes():
+        level = arch.level(node.level)
+        if level.capacity_bytes is None:
+            continue
+        used = _staged_bytes_lower_bound(tree, node)
+        if used > level.capacity_bytes:
+            problems.append(
+                f"memory: level {level.name} needs at least "
+                f"{used / 1024:.1f} KB per instance, capacity "
+                f"{level.capacity_bytes / 1024:.1f} KB {PRESCREEN_TAG}")
+            break
+    return problems
+
+
+def rejected_result(tree: AnalysisTree, arch: Architecture,
+                    violations: List[str]) -> EvaluationResult:
+    """A placeholder result for a pre-screen-rejected mapping.
+
+    Carries the violations (so cost functions classify it exactly like a
+    fully analysed infeasible mapping) but no traffic/latency detail.
+    """
+    return EvaluationResult(
+        tree_name=tree.name, arch_name=arch.name,
+        latency_cycles=0.0, energy_pj=0.0,
+        total_ops=tree.workload.total_ops,
+        traffic={}, resources=ResourceUsage(), violations=list(violations))
+
+
+def is_prescreened(result: EvaluationResult) -> bool:
+    """True for results produced by :func:`rejected_result`."""
+    return any(PRESCREEN_TAG in v for v in result.violations)

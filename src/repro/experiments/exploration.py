@@ -15,6 +15,7 @@ from typing import Dict, List, Optional, Sequence
 from .. import obs
 from ..arch import Architecture, edge
 from ..dataflows import (ATTENTION_DATAFLOWS, attention_factor_space)
+from ..engine import EvaluationEngine
 from ..ir import Workload
 from ..mapper import TileFlowMapper, tune_template
 from ..workloads import (ATTENTION_SHAPES, CONV_CHAIN_SHAPES,
@@ -43,12 +44,15 @@ def factor_tuning_trace(shape_name: str = "Bert-S",
     arch = arch or edge()
     workload = attention_from_shape(ATTENTION_SHAPES[shape_name])
     traces = ExplorationTraces()
+    # One engine for the whole sweep: the signature scheme keeps the
+    # templates' cache entries apart while sharing one memo budget.
+    engine = EvaluationEngine(workload, arch, respect_memory=False)
     for name in dataflows or ("layerwise", "unipipe", "flat_hgran",
                               "flat_rgran", "chimera", "tileflow"):
         res = tune_template(ATTENTION_DATAFLOWS[name],
                             attention_factor_space(name, workload),
                             workload, arch, samples=samples,
-                            respect_memory=False)
+                            respect_memory=False, engine=engine)
         traces.series[name] = res.normalized_trace()
     return traces
 
@@ -57,13 +61,14 @@ def factor_tuning_trace(shape_name: str = "Bert-S",
 def space_exploration_trace(workloads: Dict[str, Workload],
                             arch: Optional[Architecture] = None,
                             generations: int = 8, population: int = 10,
-                            mcts_samples: int = 15) -> ExplorationTraces:
+                            mcts_samples: int = 15,
+                            workers: int = 1) -> ExplorationTraces:
     """Fig. 9b/9c: 3D-space exploration traces (one series per shape)."""
     arch = arch or edge()
     traces = ExplorationTraces()
     for name, workload in workloads.items():
         mapper = TileFlowMapper(workload, arch, respect_memory=False,
-                                seed=hash(name) & 0xFFFF)
+                                seed=hash(name) & 0xFFFF, workers=workers)
         result = mapper.explore(generations=generations,
                                 population=population,
                                 mcts_samples=mcts_samples)

@@ -21,6 +21,7 @@ from ..analysis import TileFlowModel
 from ..arch import Architecture, cloud, edge
 from ..dataflows import (ATTENTION_DATAFLOWS, CONV_DATAFLOWS,
                          attention_factor_space, conv_factor_space, flat)
+from ..engine import EvaluationEngine
 from ..mapper import tune_template
 from ..workloads import (ATTENTION_SHAPES, CONV_CHAIN_SHAPES,
                          attention_from_shape, conv_chain_from_shape,
@@ -164,6 +165,8 @@ def granularity_study(scenario: str, batch: int = 128,
                               batch=batch, expand_softmax=False,
                               name="T5-b128")
     model = TileFlowModel(arch)
+    engine = EvaluationEngine(workload, arch,
+                              respect_memory=(scenario == "limited"))
     l1 = arch.level_index("L1")
     l2 = arch.level_index("L2")
     rows: List[GranularityRow] = []
@@ -190,7 +193,7 @@ def granularity_study(scenario: str, batch: int = 128,
         else:
             tuned = tune_template(
                 template, space, workload, arch, samples=tune_samples,
-                respect_memory=(scenario == "limited"))
+                respect_memory=(scenario == "limited"), engine=engine)
             result = tuned.best_result
         fp = result.resources.footprint_bytes
         l1_mb = fp.get(l1, 0.0) / MB

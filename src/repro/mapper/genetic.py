@@ -2,16 +2,31 @@
 
 The GA maintains a population of :class:`~repro.mapper.encoding.Genome`
 candidates (compute ordering + resource binding).  Each generation, every
-genome's tiling factors are tuned by a small MCTS run (§6, Fig. 7c), the
-resulting cost is the genome's fitness, the top-K genomes survive, and
+*new* genome's tiling factors are tuned by a small MCTS run (§6, Fig. 7c),
+the resulting cost is the genome's fitness, the top-K genomes survive, and
 offspring are produced by single-point crossover plus mutation.
+
+Fitness is carried forward: a genome tuned in an earlier generation
+(surviving elites, re-created offspring) keeps its ``(cost, factors)``
+instead of being re-tuned from scratch — re-tuning was pure waste and the
+source of the non-monotone per-generation traces that
+``MapperResult.normalized_trace`` has to cummin around.  Set
+``reuse_elites=False`` to restore the old re-tune-everything behaviour
+(the perf benchmark's baseline).
+
+Tuning itself is pluggable: pass ``tuner`` (a batch callable, e.g.
+:meth:`repro.engine.EvaluationEngine.tune_population`) to evaluate a whole
+generation through the memoized/parallel evaluation engine; without it the
+GA falls back to in-process per-genome MCTS over the ``evaluate`` callback.
+Per-genome MCTS seeds are drawn up front from the generation RNG, so the
+outcome is deterministic regardless of how the batch is executed.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..arch import Architecture
@@ -21,6 +36,10 @@ from .encoding import Genome, build_genome_tree, genome_factor_space
 from .mcts import MCTSTuner
 
 TreeEvaluator = Callable[["Genome", Dict[str, int]], Cost]
+#: Batch fitness: (genomes, per-genome MCTS seeds, samples) -> [(cost,
+#: factors)] in input order.
+BatchTuner = Callable[[Sequence[Genome], Sequence[int], int],
+                      List[Tuple[Cost, Dict[str, int]]]]
 
 
 @dataclass
@@ -38,14 +57,19 @@ class GeneticExplorer:
     """GA over genomes with per-candidate MCTS factor tuning."""
 
     def __init__(self, workload: Workload,
-                 evaluate: TreeEvaluator,
+                 evaluate: Optional[TreeEvaluator] = None,
                  population: int = 12, survivors: int = 4,
                  mcts_samples: int = 40, mutation_rate: float = 0.25,
-                 seed: int = 0):
+                 seed: int = 0, tuner: Optional[BatchTuner] = None,
+                 reuse_elites: bool = True):
         if survivors < 1 or survivors > population:
             raise ValueError("survivors must be in [1, population]")
+        if evaluate is None and tuner is None:
+            raise ValueError("need an evaluate callback or a batch tuner")
         self.workload = workload
         self.evaluate = evaluate
+        self.tuner = tuner
+        self.reuse_elites = reuse_elites
         self.population_size = population
         self.survivors = survivors
         self.mcts_samples = mcts_samples
@@ -62,24 +86,44 @@ class GeneticExplorer:
             seeds.append(Genome.random(self.workload, self.rng))
         return seeds[:self.population_size]
 
-    def _fitness(self, genome: Genome) -> Tuple[Cost, Dict[str, int]]:
+    def _fitness(self, genome: Genome,
+                 seed: int) -> Tuple[Cost, Dict[str, int]]:
         space = genome_factor_space(self.workload, genome)
         tuner = MCTSTuner(space,
                           lambda point: self.evaluate(genome, point),
-                          seed=self.rng.randrange(1 << 30))
+                          seed=seed)
         point, cost = tuner.search(self.mcts_samples)
         return cost, (point or {})
+
+    def _tune_batch(self, genomes: Sequence[Genome], seeds: Sequence[int]
+                    ) -> List[Tuple[Cost, Dict[str, int]]]:
+        if self.tuner is not None:
+            return self.tuner(genomes, seeds, self.mcts_samples)
+        return [self._fitness(g, s) for g, s in zip(genomes, seeds)]
 
     # ------------------------------------------------------------------
     def run(self, generations: int) -> Tuple[Genome, Dict[str, int], Cost]:
         """Evolve for ``generations``; returns the champion found."""
         population = self._initial_population()
+        scores: Dict[Genome, Tuple[Cost, Dict[str, int]]] = {}
         for gen in range(generations):
             with obs.span("ga.generation", "mapper", generation=gen):
-                scored: List[Tuple[Cost, Genome, Dict[str, int]]] = []
+                pending: List[Genome] = []
+                seen = set()
                 for genome in population:
-                    cost, factors = self._fitness(genome)
-                    scored.append((cost, genome, factors))
+                    if genome not in scores and genome not in seen:
+                        pending.append(genome)
+                        seen.add(genome)
+                reused = len(population) - len(pending)
+                if reused:
+                    obs.count("ga.fitness_reused", reused)
+                seeds = [self.rng.randrange(1 << 30) for _ in pending]
+                for genome, outcome in zip(pending,
+                                           self._tune_batch(pending, seeds)):
+                    scores[genome] = outcome
+                scored = [(scores[g][0], g, scores[g][1])
+                          for g in population]
+                for cost, genome, factors in scored:
                     if self.best is None or cost < self.best[0]:
                         self.best = (cost, genome, factors)
                 scored.sort(key=lambda item: item[0])
@@ -89,6 +133,9 @@ class GeneticExplorer:
                     generation=gen, best_cost=scored[0][0], mean_cost=mean,
                     best_genome=scored[0][1], best_factors=scored[0][2]))
                 parents = [g for _, g, _ in scored[:self.survivors]]
+                if not self.reuse_elites:
+                    # Old behaviour: survivors are re-tuned next generation.
+                    scores = {}
                 population = list(parents)
                 while len(population) < self.population_size:
                     mother = self.rng.choice(parents)

@@ -9,12 +9,18 @@ Two entry points:
 * :func:`tune_template` — tiling-factor-only tuning of a *named* dataflow
   template (Fig. 9a and the fair-comparison protocol of §7.3, which tunes
   every baseline dataflow's factors with the same mapper).
+
+Both run on the :class:`~repro.engine.EvaluationEngine` hot path: every
+complete mapping is canonically signed and memoized, obviously infeasible
+points are rejected by a cheap pre-screen before the full analysis, and
+``workers > 1`` evaluates a GA generation's population concurrently with
+deterministic, worker-count-independent results (docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional
 
 from .. import obs
 from ..analysis import EvaluationResult, TileFlowModel
@@ -57,8 +63,9 @@ class MapperResult:
 
         The raw trace is not guaranteed monotone (per-generation best
         costs can regress when survivors' MCTS re-tuning gets a worse
-        seed), so a best-so-far cummin is applied first; the final
-        cummin entry is then the global best by construction.
+        seed — only possible with ``reuse_elites=False``), so a
+        best-so-far cummin is applied first; the final cummin entry is
+        then the global best by construction.
         """
         trace = self.cummin_trace()
         finite = [c for c in trace if c != INFEASIBLE]
@@ -92,19 +99,41 @@ class MapperResult:
 
 
 class TileFlowMapper:
-    """Full 3D design-space exploration for one workload/architecture."""
+    """Full 3D design-space exploration for one workload/architecture.
+
+    ``workers``, ``cache_size``, and ``prescreen`` configure the
+    evaluation engine backing the search; alternatively pass a
+    pre-built ``engine`` (it is then shared and *not* shut down by
+    :meth:`explore`, so its memo cache persists across searches).
+    """
 
     def __init__(self, workload: Workload, arch: Architecture,
-                 respect_memory: bool = True, seed: int = 0):
+                 respect_memory: bool = True, seed: int = 0,
+                 workers: int = 1, cache_size: Optional[int] = None,
+                 prescreen: bool = True, engine=None):
         self.workload = workload
         self.arch = arch
         self.model = TileFlowModel(arch)
         self.respect_memory = respect_memory
         self.seed = seed
+        self.workers = workers
+        self.cache_size = cache_size
+        self.prescreen = prescreen
+        self._engine = engine
 
     # ------------------------------------------------------------------
+    def _make_engine(self):
+        from ..engine import DEFAULT_CACHE_SIZE, EvaluationEngine
+        cache_size = (DEFAULT_CACHE_SIZE if self.cache_size is None
+                      else self.cache_size)
+        return EvaluationEngine(
+            self.workload, self.arch, respect_memory=self.respect_memory,
+            workers=self.workers, cache_size=cache_size,
+            prescreen=self.prescreen)
+
     def _evaluate_genome(self, genome: Genome,
                          factors: Dict[str, int]) -> Cost:
+        """Direct (engine-less) evaluation; kept for custom callers."""
         tree = build_genome_tree(self.workload, self.arch, genome, factors)
         result = self.model.evaluate(tree)
         cost = latency_cost(result, self.respect_memory)
@@ -114,18 +143,26 @@ class TileFlowMapper:
         return cost
 
     def explore(self, generations: int = 8, population: int = 12,
-                mcts_samples: int = 30) -> MapperResult:
+                mcts_samples: int = 30,
+                reuse_elites: bool = True) -> MapperResult:
         """Run the combined GA+MCTS search (§6)."""
-        with obs.span("mapper.explore", "mapper",
-                      workload=self.workload.name, arch=self.arch.name):
-            explorer = GeneticExplorer(
-                self.workload, self._evaluate_genome,
-                population=population, mcts_samples=mcts_samples,
-                seed=self.seed)
-            genome, factors, cost = explorer.run(generations)
-            tree = build_genome_tree(self.workload, self.arch, genome,
-                                     factors)
-            result = self.model.evaluate(tree)
+        engine = self._engine if self._engine is not None else (
+            self._make_engine())
+        try:
+            with obs.span("mapper.explore", "mapper",
+                          workload=self.workload.name, arch=self.arch.name):
+                explorer = GeneticExplorer(
+                    self.workload,
+                    population=population, mcts_samples=mcts_samples,
+                    seed=self.seed, tuner=engine.tune_population,
+                    reuse_elites=reuse_elites)
+                genome, factors, cost = explorer.run(generations)
+                tree = build_genome_tree(self.workload, self.arch, genome,
+                                         factors)
+                result = engine.evaluate_genome(genome, factors, full=True)
+        finally:
+            if self._engine is None:
+                engine.shutdown()
         return MapperResult(
             best_tree=tree, best_result=result, best_cost=cost,
             best_factors=factors,
@@ -136,26 +173,25 @@ class TileFlowMapper:
 def tune_template(template: TemplateFn, space: Mapping[str, List[int]],
                   workload: Workload, arch: Architecture,
                   samples: int = 100, respect_memory: bool = True,
-                  seed: int = 0) -> MapperResult:
+                  seed: int = 0, engine=None) -> MapperResult:
     """Tune a named dataflow template's tiling factors with MCTS.
 
     This is the §7.3 fair-comparison protocol: every dataflow (FLAT,
     Chimera, Fused-Layer, ...) gets its tiling factors chosen by
     TileFlow's own mapper before dataflows are compared.
+
+    Evaluations are memoized by the evaluation engine (pass ``engine``
+    to share one — and its cache — across several tuning runs); the
+    champion's result is served from that cache instead of being
+    re-evaluated at the end.
     """
-    model = TileFlowModel(arch)
-    cache: Dict[Tuple[Tuple[str, int], ...], EvaluationResult] = {}
+    if engine is None:
+        from ..engine import EvaluationEngine
+        engine = EvaluationEngine(workload, arch,
+                                  respect_memory=respect_memory)
 
     def evaluate(point: Dict[str, int]) -> Cost:
-        key = tuple(sorted(point.items()))
-        result = cache.get(key)
-        if result is None:
-            tree = template(workload, arch, point)
-            result = model.evaluate(tree)
-            cache[key] = result
-        else:
-            obs.count("mapper.template_cache_hits")
-        return latency_cost(result, respect_memory)
+        return engine.cost_of(engine.evaluate_template(template, point))
 
     factor_space = FactorSpace({k: list(v) for k, v in space.items()})
     tuner = MCTSTuner(factor_space, evaluate, seed=seed)
@@ -164,6 +200,6 @@ def tune_template(template: TemplateFn, space: Mapping[str, List[int]],
         point, cost = tuner.search(samples)
     factors = point or factor_space.default_point()
     tree = template(workload, arch, factors)
-    result = model.evaluate(tree)
+    result = engine.evaluate_template(template, factors, full=True)
     return MapperResult(best_tree=tree, best_result=result, best_cost=cost,
                         best_factors=factors, trace=list(tuner.history))

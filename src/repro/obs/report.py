@@ -60,6 +60,36 @@ def _fmt_seconds(seconds: float) -> str:
     return f"{seconds * 1e6:8.1f}us"
 
 
+def engine_effectiveness(metrics: Optional[Mapping[str, Mapping[str, Any]]]
+                         ) -> Optional[Dict[str, float]]:
+    """Derived evaluation-engine rates from the ``engine.*`` counters.
+
+    Returns None when the run never touched the engine.  ``hit_rate`` is
+    cache hits over lookups; ``prescreen_reject_rate`` is the fraction of
+    cache *misses* (candidates actually analysed) the cheap pre-screen
+    rejected before the full model ran.
+    """
+    def value(name: str) -> float:
+        snap = (metrics or {}).get(name, {})
+        return float(snap.get("value") or 0.0)
+
+    hits = value("engine.cache_hits")
+    misses = value("engine.cache_misses")
+    rejects = value("engine.prescreen_rejects")
+    evaluations = value("engine.evaluations")
+    lookups = hits + misses
+    if lookups == 0 and evaluations == 0:
+        return None
+    return {
+        "cache_hits": hits,
+        "cache_misses": misses,
+        "hit_rate": hits / lookups if lookups else 0.0,
+        "prescreen_rejects": rejects,
+        "prescreen_reject_rate": rejects / misses if misses else 0.0,
+        "full_evaluations": evaluations,
+    }
+
+
 def render_profile(spans: Sequence[SpanRecord],
                    metrics: Optional[Mapping[str, Mapping[str, Any]]] = None,
                    top: int = 20) -> str:
@@ -110,6 +140,19 @@ def render_profile(spans: Sequence[SpanRecord],
             mean = snap.get("mean", 0.0)
             lines.append(f"{name:40s} {snap.get('count', 0):>8d} / "
                          f"{mean:g} / {snap.get('max')}")
+    eng = engine_effectiveness(metrics)
+    if eng is not None:
+        lines.append("")
+        lines.append("== evaluation engine ==")
+        lines.append(
+            f"{'cache hit rate':40s} {eng['hit_rate'] * 100:11.1f}% "
+            f"({eng['cache_hits']:g} of "
+            f"{eng['cache_hits'] + eng['cache_misses']:g} lookups)")
+        lines.append(
+            f"{'prescreen rejection rate':40s} "
+            f"{eng['prescreen_reject_rate'] * 100:11.1f}% "
+            f"({eng['prescreen_rejects']:g} of {eng['cache_misses']:g} "
+            f"analysed, {eng['full_evaluations']:g} full evaluations)")
     return "\n".join(lines)
 
 
@@ -117,7 +160,7 @@ def profile_dict(spans: Sequence[SpanRecord],
                  metrics: Optional[Mapping[str, Mapping[str, Any]]] = None
                  ) -> Dict[str, Any]:
     """Machine-readable profile (CLI ``stats --json``)."""
-    return {
+    payload: Dict[str, Any] = {
         "spans": [{"name": s.name, "count": s.count, "total_s": s.total_s,
                    "self_s": s.self_s, "mean_s": s.mean_s,
                    "min_s": s.min_s, "max_s": s.max_s}
@@ -125,6 +168,10 @@ def profile_dict(spans: Sequence[SpanRecord],
         "metrics": {name: dict(snap)
                     for name, snap in sorted((metrics or {}).items())},
     }
+    eng = engine_effectiveness(metrics)
+    if eng is not None:
+        payload["engine"] = eng
+    return payload
 
 
 def summarize_trace_file(path: str, top: int = 20) -> str:

@@ -1,0 +1,83 @@
+"""Property tests for the evaluation engine.
+
+Two contracts from docs/PERFORMANCE.md:
+
+* **Prescreen soundness** — the cheap feasibility screen never rejects a
+  mapping the full model would accept, over randomized genomes, factor
+  points, and shrunk architectures.
+* **Configuration transparency** — memoization and worker pools are pure
+  performance knobs: for a fixed seed, ``MapperResult.to_dict()`` is
+  byte-identical with the cache on or off and with 1 or 2 workers.
+"""
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import arch
+from repro.analysis import TileFlowModel
+from repro.engine import EvaluationEngine, prescreen
+from repro.mapper import (INFEASIBLE, Genome, TileFlowMapper,
+                          build_genome_tree, genome_factor_space,
+                          latency_cost)
+from repro.workloads import self_attention
+
+WL = self_attention(2, 32, 64, expand_softmax=False)
+
+#: Shrunk Edge variants that make both compute and memory rejections
+#: reachable (the stock Edge fits almost every random point).
+ARCHS = [
+    arch.edge(),
+    arch.edge().with_(pe_count=64, vector_pe_count=16),
+    arch.edge().with_level("L1", capacity_bytes=16 * 1024),
+    arch.edge().with_(pe_count=256).with_level("L1",
+                                               capacity_bytes=4 * 1024),
+]
+
+
+@given(st.integers(0, 2 ** 31), st.integers(0, len(ARCHS) - 1))
+@settings(max_examples=25, deadline=None)
+def test_prescreen_never_rejects_a_feasible_mapping(seed, arch_index):
+    """prescreen(tree) != [] implies the full model finds violations."""
+    spec = ARCHS[arch_index]
+    rng = random.Random(seed)
+    genome = Genome.random(WL, rng)
+    factors = genome_factor_space(WL, genome).random_point(rng)
+    tree = build_genome_tree(WL, spec, genome, factors)
+    if prescreen(tree, spec):
+        result = TileFlowModel(spec).evaluate(tree)
+        assert result.violations
+        assert latency_cost(result, True) == INFEASIBLE
+
+
+@given(st.integers(0, 2 ** 31))
+@settings(max_examples=25, deadline=None)
+def test_prescreen_is_invisible_to_the_search(seed):
+    """Engine cost is identical with the prescreen on or off."""
+    spec = ARCHS[3]
+    rng = random.Random(seed)
+    genome = Genome.random(WL, rng)
+    factors = genome_factor_space(WL, genome).random_point(rng)
+    screened = EvaluationEngine(WL, spec, prescreen=True)
+    unscreened = EvaluationEngine(WL, spec, prescreen=False)
+    assert (screened.cost_of(screened.evaluate_genome(genome, factors))
+            == unscreened.cost_of(unscreened.evaluate_genome(genome,
+                                                             factors)))
+
+
+def _explore(seed, **mapper_kwargs):
+    mapper = TileFlowMapper(WL, arch.edge(), seed=seed, **mapper_kwargs)
+    result = mapper.explore(generations=2, population=4, mcts_samples=4)
+    return json.dumps(result.to_dict(), sort_keys=True)
+
+
+@pytest.mark.parametrize("seed", [0, 13])
+def test_cache_does_not_change_search_results(seed):
+    assert _explore(seed) == _explore(seed, cache_size=0, prescreen=False)
+
+
+@pytest.mark.parametrize("seed", [0, 13])
+def test_workers_do_not_change_search_results(seed):
+    assert _explore(seed, workers=1) == _explore(seed, workers=2)

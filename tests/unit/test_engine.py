@@ -1,0 +1,250 @@
+"""Unit tests for the evaluation engine: signatures, cache, prescreen."""
+
+import pytest
+
+from repro import arch
+from repro.analysis import TileFlowModel
+from repro.engine import (DEFAULT_CACHE_SIZE, EngineStats, EvaluationEngine,
+                          LRUCache, arch_fingerprint, compute_demand, digest,
+                          factors_fingerprint, genome_fingerprint,
+                          is_prescreened, mapping_signature, prescreen,
+                          rejected_result, template_signature,
+                          workload_fingerprint)
+from repro.mapper import (INFEASIBLE, Genome, build_genome_tree,
+                          genome_factor_space, latency_cost)
+from repro.obs.report import engine_effectiveness, render_profile
+from repro.tile import Binding
+from repro.workloads import self_attention
+
+
+@pytest.fixture
+def wl():
+    return self_attention(2, 32, 64, expand_softmax=False)
+
+
+@pytest.fixture
+def spec():
+    return arch.edge()
+
+
+class TestSignatures:
+    def test_factor_order_washes_out(self, wl, spec):
+        base = (workload_fingerprint(wl), arch_fingerprint(spec))
+        genome = Genome.fully_fused(wl)
+        a = mapping_signature(base, genome, {"m_tile": 4, "b_tile": 2})
+        b = mapping_signature(base, genome, {"b_tile": 2, "m_tile": 4})
+        assert a == b and digest(a) == digest(b)
+
+    def test_same_workload_rebuilt_same_fingerprint(self, spec):
+        a = workload_fingerprint(self_attention(2, 32, 64,
+                                                expand_softmax=False))
+        b = workload_fingerprint(self_attention(2, 32, 64,
+                                                expand_softmax=False))
+        assert a == b
+
+    def test_distinct_components_distinct_keys(self, wl, spec):
+        base = (workload_fingerprint(wl), arch_fingerprint(spec))
+        fused = Genome.fully_fused(wl)
+        assert (mapping_signature(base, fused, {"x": 1})
+                != mapping_signature(base, Genome.unfused(wl), {"x": 1}))
+        assert (mapping_signature(base, fused, {"x": 1})
+                != mapping_signature(base, fused, {"x": 2}))
+        assert (genome_fingerprint(Genome.fully_fused(wl, Binding.PIPE))
+                != genome_fingerprint(Genome.fully_fused(wl, Binding.SEQ)))
+
+    def test_arch_fingerprint_sees_level_changes(self, spec):
+        assert (arch_fingerprint(spec)
+                != arch_fingerprint(spec.with_level("L1",
+                                                    capacity_bytes=1024)))
+        assert (arch_fingerprint(spec)
+                != arch_fingerprint(spec.with_(pe_count=16)))
+
+    def test_template_keys_disambiguate_templates(self, wl, spec):
+        base = (workload_fingerprint(wl), arch_fingerprint(spec))
+        assert (template_signature(base, "flat#0", {"x": 1})
+                != template_signature(base, "chimera#1", {"x": 1}))
+
+    def test_digest_is_short_stable_hex(self):
+        sig = ("a", (1, 2), "b")
+        assert digest(sig) == digest(("a", (1, 2), "b"))
+        assert len(digest(sig)) == 16
+        int(digest(sig), 16)  # parses as hex
+
+    def test_factors_fingerprint_coerces(self):
+        assert factors_fingerprint({"a": 2}) == (("a", 2),)
+
+
+class TestLRUCache:
+    def test_evicts_oldest(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert "a" not in cache and len(cache) == 2
+        assert cache.evictions == 1
+
+    def test_hit_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # "b" is now the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache and "b" not in cache
+
+    def test_counts_hits_and_misses(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("zzz")
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_disabled_when_maxsize_zero(self):
+        cache = LRUCache(0)
+        assert not cache.enabled
+        cache.put("a", 1)
+        assert cache.get("a") is None and len(cache) == 0
+
+    def test_none_values_never_stored(self):
+        cache = LRUCache(2)
+        cache.put("a", None)
+        assert "a" not in cache
+
+
+def _tree_for(wl, spec, genome=None, factors=None):
+    genome = genome or Genome.fully_fused(wl)
+    space = genome_factor_space(wl, genome)
+    factors = factors if factors is not None else space.default_point()
+    return build_genome_tree(wl, spec, genome, factors)
+
+
+class TestPrescreen:
+    def test_feasible_tree_passes(self, wl, spec):
+        assert prescreen(_tree_for(wl, spec), spec) == []
+
+    def test_compute_demand_matches_full_analysis(self, wl, spec):
+        tree = _tree_for(wl, spec)
+        mac, vec = compute_demand(tree.root)
+        result = TileFlowModel(spec).evaluate(tree)
+        assert mac == result.resources.num_pe
+        assert vec == result.resources.num_vector_pe
+
+    def test_rejects_oversubscribed_compute(self, wl):
+        tiny = arch.edge().with_(pe_count=1, vector_pe_count=1)
+        tree = _tree_for(wl, tiny)
+        problems = prescreen(tree, tiny)
+        assert problems and problems[0].startswith("compute:")
+        # soundness spot-check: the full model agrees
+        result = TileFlowModel(tiny).evaluate(tree)
+        assert latency_cost(result, True) == INFEASIBLE
+
+    def test_rejects_oversized_memory(self, wl):
+        cramped = arch.edge().with_level("L1", capacity_bytes=256)
+        tree = _tree_for(wl, cramped)
+        problems = prescreen(tree, cramped)
+        assert any(p.startswith("memory:") for p in problems)
+        result = TileFlowModel(cramped).evaluate(tree)
+        assert latency_cost(result, True) == INFEASIBLE
+
+    def test_check_memory_false_skips_memory(self, wl):
+        cramped = arch.edge().with_level("L1", capacity_bytes=256)
+        tree = _tree_for(wl, cramped)
+        assert prescreen(tree, cramped, check_memory=False) == []
+
+    def test_rejected_result_is_tagged_and_json_safe(self, wl):
+        import json
+        cramped = arch.edge().with_level("L1", capacity_bytes=256)
+        tree = _tree_for(wl, cramped)
+        result = rejected_result(tree, cramped,
+                                 prescreen(tree, cramped))
+        assert is_prescreened(result)
+        assert latency_cost(result, True) == INFEASIBLE
+        json.dumps(result.to_dict(), allow_nan=False)
+
+
+class TestEvaluationEngine:
+    def test_memoizes_genome_evaluations(self, wl, spec):
+        engine = EvaluationEngine(wl, spec)
+        genome = Genome.fully_fused(wl)
+        factors = genome_factor_space(wl, genome).default_point()
+        first = engine.evaluate_genome(genome, factors)
+        second = engine.evaluate_genome(genome, factors)
+        assert second is first
+        assert engine.stats.cache_hits == 1
+        assert engine.stats.evaluations == 1
+
+    def test_cache_size_zero_disables_memo(self, wl, spec):
+        engine = EvaluationEngine(wl, spec, cache_size=0)
+        genome = Genome.fully_fused(wl)
+        factors = genome_factor_space(wl, genome).default_point()
+        engine.evaluate_genome(genome, factors)
+        engine.evaluate_genome(genome, factors)
+        assert engine.stats.cache_hits == 0
+        assert engine.stats.evaluations == 2
+
+    def test_full_replaces_prescreened_placeholder(self, wl):
+        cramped = arch.edge().with_level("L1", capacity_bytes=256)
+        engine = EvaluationEngine(wl, cramped)
+        genome = Genome.fully_fused(wl)
+        factors = genome_factor_space(wl, genome).default_point()
+        placeholder = engine.evaluate_genome(genome, factors)
+        assert is_prescreened(placeholder)
+        full = engine.evaluate_genome(genome, factors, full=True)
+        assert not is_prescreened(full)
+        assert full.violations  # still infeasible, but fully analysed
+        assert full.latency_cycles > 0
+
+    def test_template_points_cached_per_template(self, wl, spec):
+        from repro.dataflows import ATTENTION_DATAFLOWS
+        engine = EvaluationEngine(wl, spec, respect_memory=False)
+        template = ATTENTION_DATAFLOWS["flat_rgran"]
+        first = engine.evaluate_template(template, {"b_tile": 1})
+        second = engine.evaluate_template(template, {"b_tile": 1})
+        assert second is first and engine.stats.cache_hits == 1
+
+    def test_tune_population_serial_matches_tune_genome(self, wl, spec):
+        genomes = [Genome.fully_fused(wl), Genome.unfused(wl)]
+        seeds = [11, 22]
+        batch = EvaluationEngine(wl, spec).tune_population(genomes, seeds,
+                                                           samples=5)
+        singles = [EvaluationEngine(wl, spec).tune_genome(g, s, 5)
+                   for g, s in zip(genomes, seeds)]
+        assert batch == singles
+
+    def test_tune_population_length_mismatch(self, wl, spec):
+        with pytest.raises(ValueError):
+            EvaluationEngine(wl, spec).tune_population(
+                [Genome.fully_fused(wl)], [1, 2], samples=3)
+
+    def test_unknown_objective_rejected(self, wl, spec):
+        with pytest.raises(ValueError):
+            EvaluationEngine(wl, spec, objective="fastest")
+
+    def test_stats_merge_and_hit_rate(self):
+        stats = EngineStats(cache_hits=3, cache_misses=1)
+        stats.merge({"cache_hits": 1, "evaluations": 2})
+        assert stats.cache_hits == 4 and stats.evaluations == 2
+        assert stats.hit_rate == pytest.approx(4 / 5)
+        assert EngineStats().hit_rate == 0.0
+
+
+class TestEngineReport:
+    def test_no_engine_counters_no_section(self):
+        assert engine_effectiveness(None) is None
+        assert engine_effectiveness({"mapper.evaluations":
+                                     {"kind": "counter", "value": 9}}) is None
+        assert "evaluation engine" not in render_profile([], {})
+
+    def test_rates_and_rendering(self):
+        metrics = {
+            "engine.cache_hits": {"kind": "counter", "value": 30},
+            "engine.cache_misses": {"kind": "counter", "value": 10},
+            "engine.prescreen_rejects": {"kind": "counter", "value": 4},
+            "engine.evaluations": {"kind": "counter", "value": 6},
+        }
+        eng = engine_effectiveness(metrics)
+        assert eng["hit_rate"] == pytest.approx(0.75)
+        assert eng["prescreen_reject_rate"] == pytest.approx(0.4)
+        text = render_profile([], metrics)
+        assert "== evaluation engine ==" in text
+        assert "cache hit rate" in text and "75.0%" in text
+        assert "prescreen rejection rate" in text and "40.0%" in text
