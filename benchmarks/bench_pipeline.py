@@ -1,0 +1,246 @@
+#!/usr/bin/env python
+"""Pipeline benchmark: context sharing + partial evaluation vs monolith.
+
+Measures what the pass-pipeline refactor buys during mapper search.
+The same GA+MCTS exploration (fixed seed) runs under three engine
+configs:
+
+* ``pre_refactor``   — simulates the monolithic model: the feasibility
+  pre-screen and the full evaluation each recompute validation and
+  slice geometry from scratch (no shared ``AnalysisContext``), and
+  every analysed candidate runs the complete pass pipeline.
+* ``shared_context`` — the pipeline refactor without partial stops
+  (``EvaluationEngine(partial=False)``): the pre-screen's validate +
+  slices prefix is reused when the pipeline resumes for the full run.
+* ``partial``        — the engine defaults: context sharing plus the
+  partial-evaluation fast path (stop after the latency pass — the
+  latency objective never reads energy — and stop at the resource pass
+  for infeasible candidates).
+
+Configs are interleaved over ``--repeats`` rounds and compared on
+min-time.  A second section microbenchmarks the pipeline's stopping
+points on a fixed mapping (full, ``until="latency"``,
+``stop_on_violation`` on an infeasible mapping, and the pre-screen
+prefix, which skips the dominant data-movement pass entirely).
+
+A determinism check asserts all three search configs produce
+byte-identical ``MapperResult.to_dict()`` output (the champion is
+always re-evaluated with the full pipeline).  Emits
+``BENCH_pipeline.json``.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline.py
+
+Not a pytest bench: this measures the search loop itself, not a paper
+figure, so it lives beside the harness rather than in it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import os
+import sys
+import time
+from typing import Dict, List
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import arch as arch_mod  # noqa: E402
+from repro import workloads  # noqa: E402
+from repro.analysis import PRESCREEN_PIPELINE, TileFlowModel  # noqa: E402
+from repro.dataflows import attention_dataflow  # noqa: E402
+from repro.engine import EvaluationEngine  # noqa: E402
+from repro.mapper import TileFlowMapper  # noqa: E402
+
+
+class _UnsharedModel(TileFlowModel):
+    """Pre-refactor cost model: every call starts from a fresh context.
+
+    Dropping the ``context`` kwarg severs the pre-screen -> evaluation
+    reuse, so validation and slice geometry are recomputed exactly like
+    the monolithic ``evaluate`` did before the pipeline refactor.
+    Results are identical — only the repeated work returns.
+    """
+
+    def evaluate(self, tree, *args, **kwargs):
+        kwargs.pop("context", None)
+        return super().evaluate(tree, *args, **kwargs)
+
+
+def run_search(args: argparse.Namespace, *, partial: bool,
+               unshared: bool = False) -> Dict[str, object]:
+    workload = workloads.self_attention(args.heads, args.seq, args.hidden,
+                                        expand_softmax=False)
+    spec = arch_mod.edge()
+    engine = EvaluationEngine(workload, spec, respect_memory=True,
+                              workers=1, partial=partial)
+    if unshared:
+        engine.model = _UnsharedModel(spec)
+    mapper = TileFlowMapper(workload, spec, respect_memory=True,
+                            seed=args.seed, engine=engine)
+    start = time.perf_counter()
+    try:
+        result = mapper.explore(generations=args.generations,
+                                population=args.population,
+                                mcts_samples=args.samples)
+    finally:
+        engine.shutdown()
+    seconds = time.perf_counter() - start
+    return {"seconds": seconds, "stats": engine.stats.to_dict(),
+            "best_cost": (None if result.best_cost == float("inf")
+                          else result.best_cost),
+            "to_dict": result.to_dict()}
+
+
+def microbench(args: argparse.Namespace) -> Dict[str, object]:
+    """Per-call cost of each pipeline stopping point on fixed mappings."""
+    workload = workloads.self_attention(args.heads, args.seq, args.hidden,
+                                        expand_softmax=False)
+    feasible_spec = arch_mod.edge()
+    cramped_spec = arch_mod.edge().with_level("L1", capacity_bytes=1024)
+    model = TileFlowModel(feasible_spec)
+    cramped = TileFlowModel(cramped_spec)
+    feasible_tree = attention_dataflow("flat_rgran", workload, feasible_spec)
+    cramped_tree = attention_dataflow("flat_rgran", workload, cramped_spec)
+
+    def prescreen_then_full_shared():
+        ctx = model.context(feasible_tree)
+        PRESCREEN_PIPELINE.run(ctx)
+        model.evaluate(feasible_tree, context=ctx)
+
+    def prescreen_then_full_unshared():
+        PRESCREEN_PIPELINE.run(model.context(feasible_tree))
+        model.evaluate(feasible_tree)
+
+    timed = {
+        "full_pipeline_s": lambda: model.evaluate(feasible_tree),
+        "until_latency_s": lambda: model.evaluate(feasible_tree,
+                                                  until="latency"),
+        "full_infeasible_s": lambda: cramped.evaluate(cramped_tree),
+        "stop_on_violation_infeasible_s": lambda: cramped.evaluate(
+            cramped_tree, stop_on_violation=True),
+        "prescreen_prefix_s": lambda: PRESCREEN_PIPELINE.run(
+            model.context(feasible_tree)),
+        "prescreen_then_full_shared_s": prescreen_then_full_shared,
+        "prescreen_then_full_unshared_s": prescreen_then_full_unshared,
+    }
+    # Round-robin the measurements so allocator warm-up and other
+    # monotonic drift spread evenly across the variants; GC pauses are
+    # kept out of the timed region.
+    best = {name: float("inf") for name in timed}
+    for _ in range(2):  # warm up
+        for fn in timed.values():
+            fn()
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(30):
+            for name, fn in timed.items():
+                t0 = time.perf_counter()
+                fn()
+                best[name] = min(best[name], time.perf_counter() - t0)
+                gc.collect()
+    finally:
+        gc.enable()
+    out = dict(best)
+    # Each ratio compares stopping points on the *same* tree/model.
+    out["speedups"] = {
+        "until_latency_over_full":
+            best["full_pipeline_s"] / best["until_latency_s"],
+        "stop_on_violation_over_full_infeasible":
+            best["full_infeasible_s"] / best["stop_on_violation_infeasible_s"],
+        "prescreen_prefix_over_full":
+            best["full_pipeline_s"] / best["prescreen_prefix_s"],
+        "shared_context_over_unshared":
+            best["prescreen_then_full_unshared_s"]
+            / best["prescreen_then_full_shared_s"],
+    }
+    return out
+
+
+CONFIGS = (
+    ("pre_refactor", dict(partial=False, unshared=True)),
+    ("shared_context", dict(partial=False)),
+    ("partial", dict(partial=True)),
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--generations", type=int, default=12)
+    parser.add_argument("--population", type=int, default=12)
+    parser.add_argument("--samples", type=int, default=20,
+                        help="MCTS samples per genome tune")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="interleaved rounds per search config")
+    parser.add_argument("--heads", type=int, default=4)
+    parser.add_argument("--seq", type=int, default=512)
+    parser.add_argument("--hidden", type=int, default=256)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default="BENCH_pipeline.json")
+    args = parser.parse_args(argv)
+
+    times: Dict[str, List[float]] = {name: [] for name, _ in CONFIGS}
+    last: Dict[str, Dict[str, object]] = {}
+    for round_no in range(args.repeats):
+        for name, kwargs in CONFIGS:
+            run = run_search(args, **kwargs)
+            times[name].append(run["seconds"])
+            last[name] = run
+            print(f"[bench] round {round_no + 1}/{args.repeats} "
+                  f"{name}: {run['seconds']:.3f}s, "
+                  f"{run['stats']['evaluations']} evaluations, "
+                  f"{run['stats']['early_exits']} early exits", flush=True)
+
+    baseline = min(times["pre_refactor"])
+    dicts = {name: json.dumps(last[name].pop("to_dict"), sort_keys=True)
+             for name, _ in CONFIGS}
+    identical = len(set(dicts.values())) == 1
+
+    print("[bench] model microbenchmark ...", flush=True)
+    micro = microbench(args)
+
+    report = {
+        "benchmark": "pipeline_partial_evaluation",
+        "params": {"generations": args.generations,
+                   "population": args.population,
+                   "mcts_samples": args.samples,
+                   "repeats": args.repeats,
+                   "workload": f"attention(h={args.heads}, s={args.seq}, "
+                               f"d={args.hidden})",
+                   "seed": args.seed},
+        "cpu_count": os.cpu_count(),
+        "search": {
+            name: {"seconds": times[name], "min_seconds": min(times[name]),
+                   "engine_stats": last[name]["stats"],
+                   "best_cost": last[name]["best_cost"]}
+            for name, _ in CONFIGS},
+        "search_speedup_over_pre_refactor": {
+            name: baseline / min(times[name]) if times[name] else 0.0
+            for name, _ in CONFIGS},
+        "model_microbench": micro,
+        "determinism": {"all_configs_to_dict_identical": identical},
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[bench] wrote {args.out}")
+    for name, _ in CONFIGS:
+        speedup = report["search_speedup_over_pre_refactor"][name]
+        print(f"[bench] {name}: min {min(times[name]):.3f}s "
+              f"({speedup:.3f}x over pre_refactor)")
+    print("[bench] microbench speedups: "
+          + ", ".join(f"{k}={v:.2f}x"
+                      for k, v in micro["speedups"].items()))
+    if not identical:
+        print("[bench] ERROR: search results differ across configs",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

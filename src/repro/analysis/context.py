@@ -1,0 +1,200 @@
+"""Shared per-evaluation analysis state.
+
+:class:`AnalysisContext` is the blackboard one pipeline run
+(:mod:`repro.analysis.pipeline`) writes its artifacts into, plus a memo
+layer for the per-node intermediates several analyses need:
+
+* **slice geometry** (:class:`NodeSlices`) — the (leaf, access) pairs
+  below a node grouped by tensor, their merged slice extents, and the
+  per-tensor staged word counts.  Data movement (§5.1), the resource
+  footprint (§5.2), and the feasibility bounds all consume these; the
+  context computes them once per node.
+* **loop products** — ``executions(node)`` (how many times a node's
+  subtree runs over the whole execution) and the ``NumPE`` compute
+  demand recursion of §5.2, both exact integer arithmetic.
+* **tensor residency** — the LCA home node of each tensor and the
+  "does this subtree use tensor X" predicate driving Seq eviction.
+
+A context is valid for exactly one ``(tree, arch)`` pair; memo keys are
+``id(node)`` so it must not outlive its tree.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..arch import Architecture
+from ..ir import TensorAccess
+from ..tile.tree import AnalysisTree, FusionNode, OpTile, TileNode
+from .slices import box_volume, merged_extents, slice_extents
+
+AccessPairs = List[Tuple[OpTile, TensorAccess]]
+
+
+class NodeSlices:
+    """Slice geometry of one tree node, grouped by tensor.
+
+    ``tensors`` is sorted so every float accumulation over it is
+    deterministic; ``extents[t]`` merges the slice bounding boxes of all
+    reads and writes of ``t`` below the node, and ``staged_words[t]`` is
+    that box's volume (one buffer instance's residency per time step).
+    """
+
+    __slots__ = ("readers", "writers", "tensors", "extents", "staged_words")
+
+    def __init__(self, node: TileNode):
+        self.readers: Dict[str, AccessPairs] = {}
+        self.writers: Dict[str, AccessPairs] = {}
+        for leaf in node.leaves():
+            for access in leaf.op.inputs:
+                self.readers.setdefault(access.tensor.name, []).append(
+                    (leaf, access))
+            out = leaf.op.output
+            self.writers.setdefault(out.tensor.name, []).append((leaf, out))
+        self.tensors: Tuple[str, ...] = tuple(
+            sorted(set(self.readers) | set(self.writers)))
+        self.extents: Dict[str, Tuple[int, ...]] = {}
+        self.staged_words: Dict[str, float] = {}
+        for name in self.tensors:
+            pairs = self.readers.get(name, []) + self.writers.get(name, [])
+            extents = merged_extents(
+                [slice_extents(node, leaf, access) for leaf, access in pairs])
+            self.extents[name] = extents
+            self.staged_words[name] = float(box_volume(extents))
+
+
+def num_pe_demand(node: TileNode) -> Tuple[int, int]:
+    """(MAC PEs, vector PEs) used concurrently by the subtree (§5.2).
+
+    The single home of the paper's ``NumPE`` recursion: concurrent
+    siblings (``Para``/``Pipe``) add their demands, time-shared siblings
+    (``Seq``/``Shar``) take the max, spatial loops multiply.  Purely
+    structural — needs no data-movement information — so the feasibility
+    bounds and the resource analysis share it.
+    """
+    if node.is_leaf():
+        assert isinstance(node, OpTile)
+        used = node.spatial_trip_count
+        return (used, 0) if node.op.kind == "mac" else (0, used)
+    sp = node.spatial_trip_count
+    if isinstance(node, OpTile):
+        mac, vec = num_pe_demand(node.child)
+        return sp * mac, sp * vec
+    assert isinstance(node, FusionNode)
+    demands = [num_pe_demand(c) for c in node.children]
+    if node.binding.shares_compute_in_time:
+        mac = max(d[0] for d in demands)
+        vec = max(d[1] for d in demands)
+    else:
+        mac = sum(d[0] for d in demands)
+        vec = sum(d[1] for d in demands)
+    return sp * mac, sp * vec
+
+
+class AnalysisContext:
+    """Blackboard + memo store for one evaluation of one tree.
+
+    Passes communicate exclusively through :meth:`put`/:meth:`get`
+    artifacts (declared in their ``reads``/``writes``); the memoized
+    accessors below are shared computation, not artifacts, and may be
+    called by any pass.
+    """
+
+    def __init__(self, tree: AnalysisTree, arch: Architecture, *,
+                 model_eviction: bool = True, model_rmw: bool = True,
+                 check_memory: bool = True):
+        self.tree = tree
+        self.arch = arch
+        self.model_eviction = model_eviction
+        self.model_rmw = model_rmw
+        #: Whether the resource-bounds pass checks buffer capacities
+        #: (mappers with ``respect_memory=False`` switch it off).
+        self.check_memory = check_memory
+        #: Names of passes that have finished, in execution order.
+        self.completed: List[str] = []
+        #: True when a run stopped at the first violation-producing pass.
+        self.early_exit = False
+        self._artifacts: Dict[str, Any] = {}
+        self._slices: Dict[int, NodeSlices] = {}
+        self._num_pe: Dict[int, Tuple[int, int]] = {}
+        self._executions: Dict[int, int] = {}
+        self._uses: Dict[Tuple[int, str], bool] = {}
+        self._homes: Dict[str, Optional[TileNode]] = {}
+        self._homes_built = False
+
+    # -- artifacts -------------------------------------------------------
+    def put(self, name: str, value: Any) -> None:
+        self._artifacts[name] = value
+
+    def get(self, name: str, default: Any = None) -> Any:
+        return self._artifacts.get(name, default)
+
+    def has(self, name: str) -> bool:
+        return name in self._artifacts
+
+    def mark_completed(self, pass_name: str) -> None:
+        """Record a pass as done without running it (resume / skip)."""
+        if pass_name not in self.completed:
+            self.completed.append(pass_name)
+
+    # -- memoized per-node intermediates ---------------------------------
+    def node_slices(self, node: TileNode) -> NodeSlices:
+        key = id(node)
+        cached = self._slices.get(key)
+        if cached is None:
+            cached = NodeSlices(node)
+            self._slices[key] = cached
+        return cached
+
+    def num_pe(self, node: TileNode) -> Tuple[int, int]:
+        key = id(node)
+        cached = self._num_pe.get(key)
+        if cached is None:
+            cached = num_pe_demand(node)
+            self._num_pe[key] = cached
+        return cached
+
+    def executions(self, node: TileNode) -> int:
+        """How many times the node's subtree runs over the execution.
+
+        The exact integer product of all ancestors' trip counts (the
+        node's own loops are *inside* one execution).
+        """
+        key = id(node)
+        cached = self._executions.get(key)
+        if cached is None:
+            parent = node.parent
+            cached = (1 if parent is None
+                      else self.executions(parent) * parent.trip_count)
+            self._executions[key] = cached
+        return cached
+
+    def subtree_uses(self, node: TileNode, tensor_name: str) -> bool:
+        key = (id(node), tensor_name)
+        cached = self._uses.get(key)
+        if cached is None:
+            cached = any(leaf.op.uses(tensor_name) for leaf in node.leaves())
+            self._uses[key] = cached
+        return cached
+
+    def home(self, tensor_name: str) -> Optional[TileNode]:
+        """The tensor's LCA home node (None for workload inputs/outputs)."""
+        if not self._homes_built:
+            self._homes = {t.name: self.tree.tensor_home(t.name)
+                           for t in self.tree.workload.tensors()}
+            self._homes_built = True
+        return self._homes.get(tensor_name)
+
+    def staged_bytes_lower_bound(self, node: TileNode) -> float:
+        """Single-buffered byte floor of one buffer instance of ``node``.
+
+        The full footprint analysis adds child contributions and
+        double-buffering on top and never subtracts, so this is a sound
+        lower bound for the feasibility screen.
+        """
+        slices = self.node_slices(node)
+        total = 0.0
+        for tensor_name in slices.tensors:
+            total += (slices.staged_words[tensor_name]
+                      * self.tree.workload.tensor(tensor_name).word_bytes)
+        return total

@@ -36,9 +36,10 @@ from ..ir import Operator, TensorAccess
 from ..tile.bindings import Binding
 from ..tile.loops import Loop
 from ..tile.tree import AnalysisTree, FusionNode, OpTile, TileNode
+from .context import AnalysisContext
 from .metrics import LevelTraffic
 from .slices import (box_volume, delta_volume, loop_displacement,
-                     merged_extents, movement_recursion, slice_extents)
+                     movement_recursion)
 
 
 @dataclass
@@ -97,18 +98,23 @@ class DataMovementAnalysis:
     off the §5.1.2 Seq eviction, ``model_rmw`` switches off partial-sum
     read-modify-write accounting); the ablation benches quantify what
     each rule contributes to the model's predictions.
+
+    Slice geometry, tensor homes, and loop products come from a shared
+    :class:`~repro.analysis.context.AnalysisContext`; pass one to reuse
+    intermediates across pipeline passes, or omit it for a standalone
+    run (a private context is created, and the ablation flags above
+    apply).  When a context is given, *its* flags win.
     """
 
     def __init__(self, tree: AnalysisTree, arch: Architecture,
-                 model_eviction: bool = True, model_rmw: bool = True):
+                 model_eviction: bool = True, model_rmw: bool = True,
+                 context: Optional[AnalysisContext] = None):
         self.tree = tree
         self.arch = arch
-        self.model_eviction = model_eviction
-        self.model_rmw = model_rmw
-        self._homes: Dict[str, Optional[TileNode]] = {
-            t.name: tree.tensor_home(t.name)
-            for t in tree.workload.tensors()}
-        self._uses_cache: Dict[Tuple[int, str], bool] = {}
+        self.ctx = context if context is not None else AnalysisContext(
+            tree, arch, model_eviction=model_eviction, model_rmw=model_rmw)
+        self.model_eviction = self.ctx.model_eviction
+        self.model_rmw = self.ctx.model_rmw
 
     # ------------------------------------------------------------------
     def run(self) -> DataMovementResult:
@@ -127,20 +133,17 @@ class DataMovementAnalysis:
         flows = NodeFlows(node=node)
         source_level = (node.parent.level if node.parent is not None
                         else self.arch.dram_index)
-        readers, writers = self._accesses_below(node)
-        tensors = sorted(set(readers) | set(writers))
-        for tensor_name in tensors:
-            reader_pairs = readers.get(tensor_name, [])
-            writer_pairs = writers.get(tensor_name, [])
+        slices = self.ctx.node_slices(node)
+        for tensor_name in slices.tensors:
+            reader_pairs = slices.readers.get(tensor_name, [])
+            writer_pairs = slices.writers.get(tensor_name, [])
             # A slice is one buffer instance's residency: loops below the
             # node plus its unit-step (PE-lane) spatial loops.  Block-
             # distributing spatial loops multiply traffic in the walk.
-            extents = merged_extents(
-                [slice_extents(node, leaf, access)
-                 for leaf, access in reader_pairs + writer_pairs])
-            flows.staged_words[tensor_name] = float(box_volume(extents))
+            extents = slices.extents[tensor_name]
+            flows.staged_words[tensor_name] = slices.staged_words[tensor_name]
 
-            home = self._homes.get(tensor_name)
+            home = self.ctx.home(tensor_name)
             crossing = (home is None) or self._is_strict_ancestor(home, node)
             if not crossing or node.level >= source_level:
                 continue
@@ -186,29 +189,9 @@ class DataMovementAnalysis:
         return self._walk_volume(extents, access, ideal_walk)
 
     # ------------------------------------------------------------------
-    def _accesses_below(self, node: TileNode):
-        """Group (leaf, access) pairs under ``node`` by tensor name."""
-        readers: Dict[str, List[Tuple[OpTile, TensorAccess]]] = {}
-        writers: Dict[str, List[Tuple[OpTile, TensorAccess]]] = {}
-        for leaf in node.leaves():
-            for access in leaf.op.inputs:
-                readers.setdefault(access.tensor.name, []).append(
-                    (leaf, access))
-            out = leaf.op.output
-            writers.setdefault(out.tensor.name, []).append((leaf, out))
-        return readers, writers
-
     @staticmethod
     def _is_strict_ancestor(candidate: TileNode, node: TileNode) -> bool:
         return any(a is candidate for a in node.ancestors())
-
-    def _subtree_uses(self, node: TileNode, tensor_name: str) -> bool:
-        key = (id(node), tensor_name)
-        cached = self._uses_cache.get(key)
-        if cached is None:
-            cached = any(leaf.op.uses(tensor_name) for leaf in node.leaves())
-            self._uses_cache[key] = cached
-        return cached
 
     # ------------------------------------------------------------------
     def _build_walk(self, node: TileNode, tensor_name: str,
@@ -269,11 +252,11 @@ class DataMovementAnalysis:
         if node.binding is not Binding.SEQ or len(node.children) < 2:
             return False
         users = [i for i, c in enumerate(node.children)
-                 if self._subtree_uses(c, tensor_name)]
+                 if self.ctx.subtree_uses(c, tensor_name)]
         if not users:
             return False
         following = node.children[(users[-1] + 1) % len(node.children)]
-        return not self._subtree_uses(following, tensor_name)
+        return not self.ctx.subtree_uses(following, tensor_name)
 
     @staticmethod
     def _evicted_at(parent: TileNode, child: TileNode,
@@ -309,10 +292,7 @@ class DataMovementAnalysis:
         "Reg" accesses of the paper's energy breakdown (Fig. 13).
         """
         for leaf in self.tree.root.leaves():
-            executions = 1
-            for ancestor in leaf.ancestors():
-                executions *= ancestor.trip_count
-            points = leaf.trip_count * executions
+            points = leaf.trip_count * self.ctx.executions(leaf)
             level = traffic[leaf.level]
             for access in leaf.op.inputs:
                 level.add("read", access.tensor.name, float(points))

@@ -26,26 +26,27 @@ from typing import Dict, Optional, Tuple
 from ..arch import Architecture
 from ..tile.bindings import Binding
 from ..tile.tree import AnalysisTree, FusionNode, OpTile, TileNode
+from .context import AnalysisContext
 from .datamovement import DataMovementResult
 from .metrics import LevelTraffic
 
 
 class LatencyAnalysis:
-    """Computes total cycles and per-level slow-down for a mapping."""
+    """Computes total cycles and per-level slow-down for a mapping.
+
+    Per-node execution counts (ancestor loop products) come from the
+    shared :class:`AnalysisContext` so they are computed once per
+    evaluation rather than per analysis.
+    """
 
     def __init__(self, tree: AnalysisTree, arch: Architecture,
-                 movement: DataMovementResult):
+                 movement: DataMovementResult,
+                 context: Optional[AnalysisContext] = None):
         self.tree = tree
         self.arch = arch
         self.movement = movement
-        self._executions: Dict[int, float] = {}
-        self._count_executions(tree.root, 1.0)
-
-    def _count_executions(self, node: TileNode, times: float) -> None:
-        self._executions[id(node)] = times
-        inner = times * node.trip_count
-        for child in node.children_nodes():
-            self._count_executions(child, inner)
+        self.ctx = context if context is not None else AnalysisContext(
+            tree, arch)
 
     # ------------------------------------------------------------------
     def run(self) -> Tuple[float, Dict[int, float]]:
@@ -57,7 +58,7 @@ class LatencyAnalysis:
     def _node_latency(self, node: TileNode, concurrency: float) -> float:
         """Latency in cycles of ONE execution of ``node``."""
         flows = self.movement.flows(node)
-        executions = max(1.0, self._executions[id(node)])
+        executions = max(1.0, float(self.ctx.executions(node)))
         source_level = (node.parent.level if node.parent is not None
                         else self.arch.dram_index)
         io_cycles = 0.0
@@ -96,7 +97,7 @@ class LatencyAnalysis:
         if child.parent is None or child.level >= child.parent.level:
             return 0.0
         flows = self.movement.flows(child)
-        executions = max(1.0, self._executions[id(child)])
+        executions = max(1.0, float(self.ctx.executions(child)))
         total_bytes = (self._bytes(flows.fills)
                        + self._bytes(flows.updates)) / executions
         bw = self._shared_bandwidth(child.parent.level, concurrency)

@@ -19,23 +19,33 @@ human-readable strings; mappers use them to reject candidates.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..arch import Architecture
 from ..tile.bindings import Binding
 from ..tile.tree import AnalysisTree, FusionNode, OpTile, TileNode
+from .context import AnalysisContext
 from .datamovement import DataMovementResult
 from .metrics import ResourceUsage
 
 
 class ResourceAnalysis:
-    """Runs the §5.2 recursions over a tree with known data flows."""
+    """Runs the §5.2 recursions over a tree with known data flows.
+
+    The ``NumPE`` recursion lives in
+    :func:`~repro.analysis.context.num_pe_demand`; passing a shared
+    :class:`AnalysisContext` reuses its memoized value (the feasibility
+    bounds pass computes the same demand).
+    """
 
     def __init__(self, tree: AnalysisTree, arch: Architecture,
-                 movement: DataMovementResult):
+                 movement: DataMovementResult,
+                 context: Optional[AnalysisContext] = None):
         self.tree = tree
         self.arch = arch
         self.movement = movement
+        self.ctx = context if context is not None else AnalysisContext(
+            tree, arch)
 
     # ------------------------------------------------------------------
     def run(self) -> Tuple[ResourceUsage, List[str]]:
@@ -50,25 +60,7 @@ class ResourceAnalysis:
     # ------------------------------------------------------------------
     def _num_pe(self, node: TileNode) -> Tuple[int, int]:
         """(MAC PEs, vector PEs) used concurrently by the subtree."""
-        if node.is_leaf():
-            assert isinstance(node, OpTile)
-            used = node.spatial_trip_count
-            if node.op.kind == "mac":
-                return used, 0
-            return 0, used
-        sp = node.spatial_trip_count
-        if isinstance(node, OpTile):
-            mac, vec = self._num_pe(node.child)
-            return sp * mac, sp * vec
-        assert isinstance(node, FusionNode)
-        demands = [self._num_pe(c) for c in node.children]
-        if node.binding.shares_compute_in_time:
-            mac = max(d[0] for d in demands)
-            vec = max(d[1] for d in demands)
-        else:
-            mac = sum(d[0] for d in demands)
-            vec = sum(d[1] for d in demands)
-        return sp * mac, sp * vec
+        return self.ctx.num_pe(node)
 
     # ------------------------------------------------------------------
     def _staged_bytes(self, node: TileNode) -> float:

@@ -35,7 +35,7 @@ from ..mapper.encoding import (Genome, build_genome_tree,
 from ..mapper.mcts import MCTSTuner
 from ..tile.tree import AnalysisTree
 from .cache import LRUCache
-from .prescreen import is_prescreened, prescreen, rejected_result
+from .prescreen import prescreen, rejected_result
 from .signature import (arch_fingerprint, mapping_signature,
                         template_signature, workload_fingerprint)
 
@@ -59,6 +59,9 @@ class EngineStats:
     evaluations: int = 0
     prescreen_rejects: int = 0
     parallel_tasks: int = 0
+    #: Evaluations that stopped at the resource pass (violations found
+    #: before latency/energy ran; partial-evaluation fast path).
+    early_exits: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -90,6 +93,14 @@ class EvaluationEngine:
         LRU bound; ``0`` disables memoization (benchmark baseline).
     prescreen:
         Run the cheap feasibility screen before full evaluations.
+    partial:
+        Use partial evaluation on the search path: stop at the resource
+        pass when a candidate is infeasible (``respect_memory`` only —
+        with memory violations tolerated, latency is still needed), and
+        skip passes the search objective never reads (energy, for the
+        latency objective).  Champion lookups (``full=True``) always run
+        the full pipeline.  Search trajectories are unchanged; only
+        wasted passes are skipped.
     model_eviction, model_rmw:
         Forwarded to :class:`TileFlowModel` (ablation switches).
     objective:
@@ -100,7 +111,8 @@ class EvaluationEngine:
     def __init__(self, workload: Workload, arch: Architecture, *,
                  respect_memory: bool = True, workers: int = 1,
                  cache_size: int = DEFAULT_CACHE_SIZE,
-                 prescreen: bool = True, model_eviction: bool = True,
+                 prescreen: bool = True, partial: bool = True,
+                 model_eviction: bool = True,
                  model_rmw: bool = True, objective: str = "latency"):
         if objective not in _OBJECTIVES:
             raise ValueError(f"unknown objective {objective!r}; choose from "
@@ -110,7 +122,10 @@ class EvaluationEngine:
         self.respect_memory = respect_memory
         self.workers = max(1, int(workers))
         self.prescreen_enabled = prescreen
+        self.partial_enabled = partial
         self.objective = objective
+        # The latency objective never reads energy; EDP needs both.
+        self._until = "latency" if objective == "latency" else None
         self.model = TileFlowModel(arch, model_eviction=model_eviction,
                                    model_rmw=model_rmw)
         self.stats = EngineStats()
@@ -130,6 +145,7 @@ class EvaluationEngine:
             "respect_memory": self.respect_memory,
             "cache_size": self._cache_size,
             "prescreen": self.prescreen_enabled,
+            "partial": self.partial_enabled,
             "model_eviction": self.model.model_eviction,
             "model_rmw": self.model.model_rmw,
             "objective": self.objective,
@@ -148,21 +164,38 @@ class EvaluationEngine:
     def _evaluate_key(self, key, tree_of: Callable[[], AnalysisTree],
                       full: bool = False) -> EvaluationResult:
         cached = self._cache.get(key)
-        if cached is not None and not (full and is_prescreened(cached)):
+        if cached is not None and not (full and cached.partial):
             self._bump("cache_hits")
             return cached
         self._bump("cache_misses")
         tree = tree_of()
+        # One context serves the screen and the evaluation: the screen's
+        # validation and slice geometry are reused when the pipeline
+        # resumes for the full run.
+        ctx = self.model.context(tree)
         result: Optional[EvaluationResult] = None
         if self.prescreen_enabled and not full:
             violations = prescreen(tree, self.arch,
-                                   check_memory=self.respect_memory)
+                                   check_memory=self.respect_memory,
+                                   context=ctx)
             if violations:
                 self._bump("prescreen_rejects")
                 result = rejected_result(tree, self.arch, violations)
         if result is None:
             self._bump("evaluations")
-            result = self.model.evaluate(tree)
+            if full or not self.partial_enabled:
+                result = self.model.evaluate(tree, context=ctx)
+            else:
+                # Early-exit on violations only when the cost function
+                # treats them as rejections; with respect_memory=False
+                # it still needs the latency of memory-violating
+                # mappings (compute violations are exactly caught by
+                # the pre-screen's NumPE bound above).
+                result = self.model.evaluate(
+                    tree, context=ctx, until=self._until,
+                    stop_on_violation=self.respect_memory)
+                if result.partial and result.violations:
+                    self._bump("early_exits")
         self._cache.put(key, result)
         return result
 

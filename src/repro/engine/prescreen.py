@@ -1,113 +1,61 @@
-"""Cheap feasibility pre-screen for complete mappings.
+"""Cheap feasibility pre-screen: the analysis pipeline's cheap prefix.
 
-Before the engine pays for a full five-stage evaluation it bounds the
-mapping's resource demands from the tree structure alone:
+Before the engine pays for a full evaluation it runs
+:data:`~repro.analysis.pipeline.PRESCREEN_PIPELINE` — validate ->
+slices -> resource bounds — over the candidate's
+:class:`~repro.analysis.context.AnalysisContext`.  The bounds pass
+(:class:`~repro.analysis.pipeline.ResourceBoundsPass`) proves compute
+demand exactly (the structural ``NumPE`` recursion) and lower-bounds
+per-node staged bytes; both are conservative, so the screen never
+rejects a mapping the full model would find feasible (property-tested
+in ``tests/property/test_prop_engine.py``) and search trajectories are
+identical with and without it.
 
-* **Compute** — the §5.2 ``NumPE`` recursion is purely structural, so the
-  pre-screen computes it exactly and compares against the PE pools.
-* **Memory** — for every node whose level has finite capacity, the bytes
-  staged by that node's own slices are a *lower bound* on the level's
-  final per-instance footprint: the full analysis adds child
-  contributions and double-buffering on top and never subtracts.  Slice
-  extents come from the same :mod:`repro.analysis.slices` arithmetic the
-  real analysis uses, but the expensive reuse-walk volumes, latency, and
-  energy stages are all skipped.
-
-Both bounds are conservative by construction: the pre-screen never
-rejects a mapping the full model would find feasible (property-tested in
-``tests/property/test_prop_engine.py``), so search trajectories are
-identical with and without it — rejected points would have cost
-``INFEASIBLE`` either way.
+Because the prefix runs on the same context a subsequent full
+evaluation resumes, its validation and slice geometry are not repeated
+work — the pipeline skips completed passes.  This module is a thin
+compatibility wrapper; the recursion logic lives in
+:mod:`repro.analysis.context` / :mod:`repro.analysis.pipeline`.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import List, Optional
 
+from ..analysis.context import AnalysisContext, num_pe_demand
 from ..analysis.metrics import EvaluationResult, ResourceUsage
-from ..analysis.slices import box_volume, merged_extents, slice_extents
+from ..analysis.pipeline import PRESCREEN_PIPELINE, PRESCREEN_TAG
 from ..arch import Architecture
-from ..tile.tree import AnalysisTree, FusionNode, OpTile, TileNode
+from ..tile.tree import AnalysisTree, TileNode
 
-#: Suffix marking violations produced by the pre-screen (the engine uses
-#: it to recognise short-circuited results and re-evaluate champions).
-PRESCREEN_TAG = "(prescreen lower bound)"
+__all__ = ["PRESCREEN_TAG", "compute_demand", "prescreen",
+           "rejected_result", "is_prescreened"]
 
 
-def compute_demand(node: TileNode) -> Tuple[int, int]:
+def compute_demand(node: TileNode):
     """(MAC PEs, vector PEs) used concurrently by the subtree.
 
-    Mirrors :meth:`repro.analysis.resources.ResourceAnalysis._num_pe`
-    exactly — the recursion needs no data-movement information.
+    Alias of :func:`repro.analysis.context.num_pe_demand` — the single
+    home of the §5.2 ``NumPE`` recursion.
     """
-    if node.is_leaf():
-        assert isinstance(node, OpTile)
-        used = node.spatial_trip_count
-        return (used, 0) if node.op.kind == "mac" else (0, used)
-    sp = node.spatial_trip_count
-    if isinstance(node, OpTile):
-        mac, vec = compute_demand(node.child)
-        return sp * mac, sp * vec
-    assert isinstance(node, FusionNode)
-    demands = [compute_demand(c) for c in node.children]
-    if node.binding.shares_compute_in_time:
-        mac = max(d[0] for d in demands)
-        vec = max(d[1] for d in demands)
-    else:
-        mac = sum(d[0] for d in demands)
-        vec = sum(d[1] for d in demands)
-    return sp * mac, sp * vec
-
-
-def _staged_bytes_lower_bound(tree: AnalysisTree, node: TileNode) -> float:
-    """Bytes one instance of ``node``'s buffer must hold per time step.
-
-    Sums each tensor's bounding-box slice over the accesses below the
-    node — the single-buffered floor of the resource analysis's
-    ``_staged_bytes`` (which additionally doubles crossing tensors).
-    """
-    per_tensor: Dict[str, List[Tuple[int, ...]]] = {}
-    for leaf in node.leaves():
-        for access in leaf.op.all_accesses():
-            per_tensor.setdefault(access.tensor.name, []).append(
-                slice_extents(node, leaf, access))
-    total = 0.0
-    for tensor_name, extents_list in per_tensor.items():
-        words = box_volume(merged_extents(extents_list))
-        total += words * tree.workload.tensor(tensor_name).word_bytes
-    return total
+    return num_pe_demand(node)
 
 
 def prescreen(tree: AnalysisTree, arch: Architecture,
-              check_memory: bool = True) -> List[str]:
+              check_memory: bool = True,
+              context: Optional[AnalysisContext] = None) -> List[str]:
     """Violations provable without the full analysis (empty = may pass).
 
     Returns at most one compute and one memory violation — the screen
     stops at the first proof of infeasibility per resource class, since
-    one is enough to reject.
+    one is enough to reject.  Pass ``context`` to share work with a
+    subsequent full evaluation of the same tree (the pipeline resumes
+    where the screen stopped).
     """
-    problems: List[str] = []
-    mac, vec = compute_demand(tree.root)
-    if mac > arch.pe_count:
-        problems.append(f"compute: {mac} MAC PEs needed, "
-                        f"{arch.pe_count} available {PRESCREEN_TAG}")
-    elif vec > arch.vector_pe_count:
-        problems.append(f"compute: {vec} vector lanes needed, "
-                        f"{arch.vector_pe_count} available {PRESCREEN_TAG}")
-    if not check_memory:
-        return problems
-    for node in tree.nodes():
-        level = arch.level(node.level)
-        if level.capacity_bytes is None:
-            continue
-        used = _staged_bytes_lower_bound(tree, node)
-        if used > level.capacity_bytes:
-            problems.append(
-                f"memory: level {level.name} needs at least "
-                f"{used / 1024:.1f} KB per instance, capacity "
-                f"{level.capacity_bytes / 1024:.1f} KB {PRESCREEN_TAG}")
-            break
-    return problems
+    ctx = context if context is not None else AnalysisContext(tree, arch)
+    ctx.check_memory = check_memory
+    PRESCREEN_PIPELINE.run(ctx)
+    return list(ctx.get("bound_violations") or ())
 
 
 def rejected_result(tree: AnalysisTree, arch: Architecture,
@@ -121,7 +69,8 @@ def rejected_result(tree: AnalysisTree, arch: Architecture,
         tree_name=tree.name, arch_name=arch.name,
         latency_cycles=0.0, energy_pj=0.0,
         total_ops=tree.workload.total_ops,
-        traffic={}, resources=ResourceUsage(), violations=list(violations))
+        traffic={}, resources=ResourceUsage(), violations=list(violations),
+        partial=True, completed_passes=PRESCREEN_PIPELINE.names())
 
 
 def is_prescreened(result: EvaluationResult) -> bool:

@@ -165,8 +165,11 @@ def shared_tileable_dims(workload: Workload,
         if consumed_inside:
             common -= op.reduction_dims
     sizes = group[-1].dims
+    # Tie-break equal-sized dims by name: ``common`` is a set, so sorting
+    # by size alone would leave ties in hash order, making tree
+    # construction depend on PYTHONHASHSEED across processes.
     return sorted((d for d in common if sizes.get(d, 1) > 1),
-                  key=lambda d: -sizes[d])
+                  key=lambda d: (-sizes[d], d))
 
 
 def genome_factor_space(workload: Workload, genome: Genome,

@@ -133,9 +133,16 @@ class TileFlowMapper:
 
     def _evaluate_genome(self, genome: Genome,
                          factors: Dict[str, int]) -> Cost:
-        """Direct (engine-less) evaluation; kept for custom callers."""
+        """Direct (engine-less) evaluation; kept for custom callers.
+
+        Runs the pipeline only as far as the latency cost needs: the
+        energy pass is skipped, and candidates with resource violations
+        stop at the resource pass when violations mean rejection.
+        """
         tree = build_genome_tree(self.workload, self.arch, genome, factors)
-        result = self.model.evaluate(tree)
+        result = self.model.evaluate(
+            tree, until="latency",
+            stop_on_violation=self.respect_memory)
         cost = latency_cost(result, self.respect_memory)
         obs.count("mapper.evaluations")
         if cost == INFEASIBLE:

@@ -77,6 +77,7 @@ def engine_effectiveness(metrics: Optional[Mapping[str, Mapping[str, Any]]]
     misses = value("engine.cache_misses")
     rejects = value("engine.prescreen_rejects")
     evaluations = value("engine.evaluations")
+    early = value("engine.early_exits")
     lookups = hits + misses
     if lookups == 0 and evaluations == 0:
         return None
@@ -87,6 +88,8 @@ def engine_effectiveness(metrics: Optional[Mapping[str, Mapping[str, Any]]]
         "prescreen_rejects": rejects,
         "prescreen_reject_rate": rejects / misses if misses else 0.0,
         "full_evaluations": evaluations,
+        "early_exits": early,
+        "early_exit_rate": early / evaluations if evaluations else 0.0,
     }
 
 
@@ -153,6 +156,12 @@ def render_profile(spans: Sequence[SpanRecord],
             f"{eng['prescreen_reject_rate'] * 100:11.1f}% "
             f"({eng['prescreen_rejects']:g} of {eng['cache_misses']:g} "
             f"analysed, {eng['full_evaluations']:g} full evaluations)")
+        if eng["early_exits"]:
+            lines.append(
+                f"{'pipeline early-exit rate':40s} "
+                f"{eng['early_exit_rate'] * 100:11.1f}% "
+                f"({eng['early_exits']:g} of {eng['full_evaluations']:g} "
+                f"evaluations stopped at first violation)")
     return "\n".join(lines)
 
 

@@ -1,0 +1,120 @@
+"""The pass pipeline reproduces the pre-refactor monolith exactly.
+
+Two oracles guard the refactor of ``TileFlowModel.evaluate`` into a pass
+pipeline:
+
+* ``tests/data/analysis_oracle.json`` — 58 ``EvaluationResult.to_dict()``
+  payloads (every named attention/conv dataflow on Edge/Cloud plus 30
+  random genome trees) frozen from the pre-refactor monolith.  The full
+  pipeline must reproduce the file **byte-for-byte**.  Regenerate after
+  an intentional model change with
+  ``PYTHONPATH=src python tests/property/test_prop_pipeline.py``.
+* A hypothesis sweep comparing the pipeline against an *independent*
+  composition of the underlying analyses (data movement -> resources ->
+  latency -> energy, each with its own private context) on random
+  genomes — all five metric families must agree exactly.
+"""
+
+import json
+import os
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro import arch as arch_mod
+from repro.analysis import (DataMovementAnalysis, LatencyAnalysis,
+                            ResourceAnalysis, TileFlowModel, compute_energy)
+from repro.dataflows import (ATTENTION_DATAFLOWS, CONV_DATAFLOWS,
+                             attention_dataflow, conv_dataflow)
+from repro.mapper import Genome, build_genome_tree, genome_factor_space
+from repro.workloads import (ATTENTION_SHAPES, CONV_CHAIN_SHAPES,
+                             attention_from_shape, conv_chain_from_shape,
+                             self_attention)
+
+ORACLE_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "data",
+                           "analysis_oracle.json")
+
+
+def oracle_entries():
+    """Recompute every frozen-oracle entry with the current model."""
+    out = {}
+    for shape in ("Bert-S", "ViT/16-B"):
+        wl = attention_from_shape(ATTENTION_SHAPES[shape])
+        for aname, spec in (("edge", arch_mod.edge()),
+                            ("cloud", arch_mod.cloud())):
+            model = TileFlowModel(spec)
+            for df in ATTENTION_DATAFLOWS:
+                r = model.evaluate(attention_dataflow(df, wl, spec))
+                out[f"attn/{shape}/{aname}/{df}"] = r.to_dict()
+    wl = conv_chain_from_shape(CONV_CHAIN_SHAPES["CC1"])
+    spec = arch_mod.edge()
+    model = TileFlowModel(spec)
+    for df in CONV_DATAFLOWS:
+        r = model.evaluate(conv_dataflow(df, wl, spec))
+        out[f"conv/CC1/edge/{df}"] = r.to_dict()
+    wl = self_attention(2, 32, 64, expand_softmax=False)
+    model = TileFlowModel(spec)
+    rng = random.Random(1234)
+    for i in range(30):
+        genome = Genome.random(wl, rng)
+        factors = genome_factor_space(wl, genome).random_point(rng)
+        tree = build_genome_tree(wl, spec, genome, factors)
+        out[f"genome/{i}"] = model.evaluate(tree).to_dict()
+    return out
+
+
+def test_frozen_oracle_byte_identity():
+    """Full-pipeline results are byte-identical to the frozen monolith."""
+    with open(ORACLE_PATH) as fh:
+        frozen = fh.read()
+    current = json.dumps(oracle_entries(), sort_keys=True, indent=1)
+    assert current == frozen
+
+
+# ----------------------------------------------------------------------
+# Pipeline vs independent composition of the analyses.
+# ----------------------------------------------------------------------
+_WL = self_attention(2, 32, 64, expand_softmax=False)
+_SPEC = arch_mod.edge()
+
+
+@given(st.integers(min_value=0, max_value=10 ** 6))
+@settings(max_examples=25, deadline=None)
+def test_pipeline_matches_independent_composition(seed):
+    """All five metric families agree with the composed analyses."""
+    rng = random.Random(seed)
+    genome = Genome.random(_WL, rng)
+    factors = genome_factor_space(_WL, genome).random_point(rng)
+    tree = build_genome_tree(_WL, _SPEC, genome, factors)
+    result = TileFlowModel(_SPEC).evaluate(tree)
+
+    movement = DataMovementAnalysis(tree, _SPEC).run()
+    usage, violations = ResourceAnalysis(tree, _SPEC, movement).run()
+    cycles, slowdown = LatencyAnalysis(tree, _SPEC, movement).run()
+    energy_pj, breakdown = compute_energy(_WL, _SPEC, movement.traffic)
+
+    # 1. latency (+ the §7.5 slow-down diagnostics)
+    assert result.latency_cycles == cycles
+    assert result.slowdown == slowdown
+    # 2. energy (total and per-component breakdown)
+    assert result.energy_pj == energy_pj
+    assert result.energy_breakdown_pj == breakdown
+    # 3. traffic at every level
+    assert set(result.traffic) == set(movement.traffic)
+    for level, lt in result.traffic.items():
+        other = movement.traffic[level]
+        assert (lt.fill, lt.read, lt.update) == (
+            other.fill, other.read, other.update)
+    # 4. resources
+    assert result.resources.num_pe == usage.num_pe
+    assert result.resources.num_vector_pe == usage.num_vector_pe
+    assert result.resources.footprint_bytes == usage.footprint_bytes
+    # 5. violations
+    assert result.violations == violations
+
+
+if __name__ == "__main__":  # regenerate the frozen oracle
+    payload = json.dumps(oracle_entries(), sort_keys=True, indent=1)
+    with open(ORACLE_PATH, "w") as fh:
+        fh.write(payload)
+    print(f"wrote {len(payload)} bytes to {ORACLE_PATH}")

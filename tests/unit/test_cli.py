@@ -106,7 +106,7 @@ class TestObservabilityFlags:
         captured = capsys.readouterr()
         assert "latency" in captured.out  # normal output untouched
         assert "spans by self-time" in captured.err
-        assert "model.datamovement" in captured.err
+        assert "model.pass.datamovement" in captured.err
         assert "model.evaluations" in captured.err
 
     def test_profile_does_not_pollute_json(self, capsys):

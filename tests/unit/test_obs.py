@@ -208,9 +208,9 @@ class TestModelInstrumentation:
         self._evaluate()
         obs.disable()
         names = {s.name for s in tracer.spans}
-        assert {"model.evaluate", "model.validate", "model.datamovement",
-                "model.resources", "model.latency",
-                "model.energy"} <= names
+        assert {"model.evaluate", "model.pass.validate", "model.pass.slices",
+                "model.pass.datamovement", "model.pass.resources",
+                "model.pass.latency", "model.pass.energy"} <= names
         snap = obs.metrics_snapshot()
         assert snap["model.evaluations"]["value"] == 1.0
 
@@ -233,7 +233,7 @@ class TestModelInstrumentation:
             model.evaluate(tree)
         eval_s = (time.perf_counter() - t0) / repeats
 
-        spans_per_eval = 6  # evaluate + 5 stages
+        spans_per_eval = 7  # evaluate + 6 pipeline passes
         rounds = 2000
         t0 = time.perf_counter()
         for _ in range(rounds):
