@@ -49,6 +49,7 @@ from typing import Dict, List
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro import arch as arch_mod  # noqa: E402
+from repro import obs  # noqa: E402
 from repro import workloads  # noqa: E402
 from repro.analysis import PRESCREEN_PIPELINE, TileFlowModel  # noqa: E402
 from repro.dataflows import attention_dataflow  # noqa: E402
@@ -161,6 +162,46 @@ def microbench(args: argparse.Namespace) -> Dict[str, object]:
     return out
 
 
+def pass_self_times(repeats: int = 40) -> Dict[str, object]:
+    """Per-pass self-time profile of the full pipeline (CI drift guard).
+
+    Runs the complete pipeline ``repeats`` times over a fixed mapping
+    under the obs tracer and aggregates the ``model.pass.*`` spans into
+    self-time *shares* of the total pass time.  Shares, not absolute
+    seconds, are what ``benchmarks/check_pass_drift.py`` compares across
+    machines: a pass whose share of the pipeline grows >1.5x signals an
+    accidental hot-path regression in that analysis even when the whole
+    run merely got uniformly slower or faster.
+
+    The workload/mapping here is fixed (independent of the search CLI
+    flags) so baseline and CI runs profile the same work.
+    """
+    workload = workloads.self_attention(4, 512, 256, expand_softmax=False)
+    spec = arch_mod.edge()
+    model = TileFlowModel(spec)
+    tree = attention_dataflow("flat_rgran", workload, spec)
+    model.evaluate(tree)  # warm-up outside the traced region
+    tracer = obs.enable()
+    try:
+        for _ in range(repeats):
+            model.evaluate(tree)
+    finally:
+        obs.disable()
+    stats = [s for s in obs.aggregate_spans(tracer.spans)
+             if s.name.startswith("model.pass.")]
+    total_self = sum(s.self_s for s in stats) or 1.0
+    return {
+        "repeats": repeats,
+        "passes": {
+            s.name[len("model.pass."):]: {
+                "count": s.count,
+                "total_s": s.total_s,
+                "self_s": s.self_s,
+                "share": s.self_s / total_self,
+            } for s in stats},
+    }
+
+
 CONFIGS = (
     ("pre_refactor", dict(partial=False, unshared=True)),
     ("shared_context", dict(partial=False)),
@@ -203,6 +244,9 @@ def main(argv=None) -> int:
     print("[bench] model microbenchmark ...", flush=True)
     micro = microbench(args)
 
+    print("[bench] per-pass self-time profile ...", flush=True)
+    passes = pass_self_times()
+
     report = {
         "benchmark": "pipeline_partial_evaluation",
         "params": {"generations": args.generations,
@@ -222,6 +266,7 @@ def main(argv=None) -> int:
             name: baseline / min(times[name]) if times[name] else 0.0
             for name, _ in CONFIGS},
         "model_microbench": micro,
+        "pass_self_times": passes,
         "determinism": {"all_configs_to_dict_identical": identical},
     }
     with open(args.out, "w") as handle:
@@ -235,6 +280,11 @@ def main(argv=None) -> int:
     print("[bench] microbench speedups: "
           + ", ".join(f"{k}={v:.2f}x"
                       for k, v in micro["speedups"].items()))
+    print("[bench] pass self-time shares: "
+          + ", ".join(f"{name}={entry['share']:.0%}"
+                      for name, entry in sorted(
+                          passes["passes"].items(),
+                          key=lambda kv: -kv[1]["share"])))
     if not identical:
         print("[bench] ERROR: search results differ across configs",
               file=sys.stderr)

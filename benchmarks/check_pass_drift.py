@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""CI guard: fail when a pipeline pass's self-time share drifts.
+
+Compares the ``pass_self_times`` section of a freshly generated
+``BENCH_pipeline.json`` against the checked-in baseline.  Shares (each
+pass's fraction of total ``model.pass.*`` self time) are machine-scale
+free: a uniformly slower runner leaves them unchanged, but a hot-path
+regression in one analysis shows up as that pass's share growing.
+
+A pass fails the check when its share moved by more than ``--max-drift``
+(default 1.5x) in either direction *and* at least one side is above
+``--min-share`` (default 3%) — tiny passes (validate, resource) jitter
+by multiples of their microsecond self-times without meaning anything.
+
+Usage::
+
+    python benchmarks/check_pass_drift.py BENCH_pipeline.json \
+        BENCH_pipeline_current.json
+
+Exits 0 when every pass is within bounds, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_shares(path: str) -> dict:
+    with open(path) as handle:
+        report = json.load(handle)
+    section = report.get("pass_self_times")
+    if not section or "passes" not in section:
+        raise SystemExit(f"{path}: no pass_self_times section — regenerate "
+                         f"with benchmarks/bench_pipeline.py")
+    return {name: entry["share"]
+            for name, entry in section["passes"].items()}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="checked-in BENCH_pipeline.json")
+    parser.add_argument("current", help="freshly generated report")
+    parser.add_argument("--max-drift", type=float, default=1.5,
+                        help="allowed share ratio in either direction")
+    parser.add_argument("--min-share", type=float, default=0.03,
+                        help="ignore passes below this share on both sides")
+    args = parser.parse_args(argv)
+
+    base = load_shares(args.baseline)
+    curr = load_shares(args.current)
+    failures = []
+    for name in sorted(set(base) | set(curr)):
+        b, c = base.get(name, 0.0), curr.get(name, 0.0)
+        if max(b, c) < args.min_share:
+            print(f"[drift] {name}: {b:.1%} -> {c:.1%} (below "
+                  f"{args.min_share:.0%} floor, ignored)")
+            continue
+        if b <= 0.0 or c <= 0.0:
+            failures.append((name, b, c, float("inf")))
+            continue
+        ratio = max(b / c, c / b)
+        status = "FAIL" if ratio > args.max_drift else "ok"
+        print(f"[drift] {name}: {b:.1%} -> {c:.1%} ({ratio:.2f}x, {status})")
+        if ratio > args.max_drift:
+            failures.append((name, b, c, ratio))
+
+    if failures:
+        for name, b, c, ratio in failures:
+            print(f"[drift] ERROR: pass {name!r} share drifted "
+                  f"{b:.1%} -> {c:.1%} (>{args.max_drift:.2f}x)",
+                  file=sys.stderr)
+        return 1
+    print(f"[drift] all passes within {args.max_drift:.2f}x of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,8 @@ The analyses compose as an explicit pass pipeline
 from .context import AnalysisContext, NodeSlices, num_pe_demand
 from .datamovement import (DataMovementAnalysis, DataMovementResult,
                            NodeFlows)
+from .fingerprint import (cache_namespace, node_fingerprints,
+                          subtree_fingerprint, workload_digest)
 from .energy import compute_energy
 from .latency import LatencyAnalysis
 from .metrics import EvaluationResult, LevelTraffic, ResourceUsage
@@ -32,6 +34,8 @@ __all__ = [
     "ResourceBoundsPass", "LatencyPass", "EnergyPass",
     "default_passes", "prescreen_passes",
     "DataMovementAnalysis", "DataMovementResult", "NodeFlows",
+    "node_fingerprints", "subtree_fingerprint", "workload_digest",
+    "cache_namespace",
     "ResourceAnalysis", "LatencyAnalysis", "compute_energy",
     "EvaluationResult", "LevelTraffic", "ResourceUsage",
     "box_volume", "delta_volume", "overlap_volume", "movement_recursion",

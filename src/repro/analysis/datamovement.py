@@ -24,6 +24,34 @@ inter-tile rules (§5.1.2):
 
 The result records per-level fill/read/update word counts (the paper's
 Fig. 10d breakdown) and per-node load/store totals for the latency model.
+
+When the context carries a shared artifact cache, two layers cache the
+expensive arithmetic across evaluations:
+
+* **Projected-walk volumes** — the boundary recursion over one (tensor,
+  walk) pair is keyed by the walk *projected onto the dims the access
+  actually reads* (:meth:`DataMovementAnalysis._projected_walk`): loops
+  over dims an access does not reference displace its slice only
+  through inner wrap-around, which is itself zero unless a referenced
+  loop sits inside — so maximal runs of irrelevant loops collapse to
+  their trip product (an exact transformation of the integer boundary
+  recursion).  A mapper move on tiling factors of dim ``m`` therefore
+  leaves the cached volumes of tensors indexed only by ``h``/``l``/``k``
+  valid — not just in untouched sibling subtrees, but along the mutated
+  path itself.  The recursion results are integers, so serving them from
+  cache and re-applying the float spatial multiplier is byte-identical
+  to a from-scratch run.
+* **Group flows** — a child of the tree root has exactly one ancestor,
+  so the complete data-movement output of its subtree (per-node fills,
+  updates, and ordered traffic contributions) is pinned by one cheap
+  key: the subtree's structural fingerprint plus the root's level,
+  loops, and per-tensor eviction/home bits
+  (:meth:`DataMovementAnalysis._group_key`).  Search moves that leave a
+  whole top-level group's configuration unchanged — the common case in
+  MCTS factor tuning, where samples revisit per-group configurations far
+  more often than whole-tree ones — replay the group's flows without
+  touching a single walk.  Replay preserves the pre-order float
+  accumulation order, keeping cached and uncached runs byte-identical.
 """
 
 from __future__ import annotations
@@ -115,38 +143,106 @@ class DataMovementAnalysis:
             tree, arch, model_eviction=model_eviction, model_rmw=model_rmw)
         self.model_eviction = self.ctx.model_eviction
         self.model_rmw = self.ctx.model_rmw
+        #: Per-run memo: (id(access), dim, step) -> displaces slice?
+        self._displaces: Dict[Tuple[int, str, int], bool] = {}
+        #: Per-run memo: (id(parent), id(child), tensor) -> Seq-evicted?
+        self._evictions: Dict[Tuple[int, int, str], bool] = {}
+        #: Bound "walkvol" store of the shared artifact cache (or None);
+        #: probed directly — this is the hottest lookup in the system.
+        self._volumes = self.ctx.shared_store("walkvol")
 
     # ------------------------------------------------------------------
     def run(self) -> DataMovementResult:
         traffic: Dict[int, LevelTraffic] = {
             i: LevelTraffic() for i in range(self.arch.num_levels)}
         node_flows: Dict[int, NodeFlows] = {}
-        for node in self.tree.nodes():
-            flows = self._analyze_node(node, traffic)
+
+        def apply(node: TileNode, flows: NodeFlows, contribs) -> None:
+            # Apply the node's per-level contributions in their original
+            # (pre-order) position: float accumulation order is part of
+            # the byte-identity contract between cached and uncached runs.
+            for level, direction, tensor_name, words in contribs:
+                traffic[level].add(direction, tensor_name, words)
             node_flows[id(node)] = flows
+
+        root = self.tree.root
+        flows, contribs = self._analyze_node(root)
+        apply(root, flows, contribs)
+        store = (self.ctx.shared_store("groupflows")
+                 if self.ctx.artifact_cache is not None else None)
+        for group in root.children_nodes():
+            key = None if store is None else self._group_key(group)
+            entry = None if store is None else store.data.get(key)
+            if entry is None:
+                if store is not None:
+                    store.misses += 1
+                fresh = []
+                for node in group.walk():
+                    flows, contribs = self._analyze_node(node)
+                    apply(node, flows, contribs)
+                    fresh.append((flows.fills, flows.updates, contribs))
+                if store is not None:
+                    store.put(key, tuple(fresh))
+            else:
+                store.hits += 1
+                for node, (fills, updates, contribs) in zip(group.walk(),
+                                                            entry):
+                    # Cached dicts are shared read-only across runs (all
+                    # NodeFlows consumers only read); residency always
+                    # equals the node's (fingerprint-cached) slices.
+                    flows = NodeFlows(
+                        node=node, fills=fills, updates=updates,
+                        staged_words=self.ctx.node_slices(node).staged_words)
+                    apply(node, flows, contribs)
         self._add_compute_accesses(traffic)
         return DataMovementResult(traffic=traffic, node_flows=node_flows)
 
-    # ------------------------------------------------------------------
-    def _analyze_node(self, node: TileNode,
-                      traffic: Dict[int, LevelTraffic]) -> NodeFlows:
+    def _group_key(self, group: TileNode) -> Tuple:
+        """Cache key for the flows of one whole child-of-root subtree.
+
+        A child of the root has exactly one ancestor, so everything its
+        subtree's walks can see outside the subtree itself is: the fill
+        source level, the root's loops (walked, or folded into spatial
+        multipliers), and — per tensor the subtree stages — whether the
+        root Seq-evicts it between iterations and whether the root is
+        its home (LCA truncation).  The subtree fingerprint pins the
+        rest.  One tuple per *group* per evaluation keeps the key cost
+        negligible, unlike a per-node environment fingerprint.
+        """
+        root = self.tree.root
+        bits: List[str] = []
+        for tensor_name in self.ctx.node_slices(group).tensors:
+            evicted = (self.model_eviction
+                       and self._evicted_at(root, group, tensor_name))
+            home_is_root = self.ctx.home(tensor_name) is root
+            bits.append(tensor_name + ("e" if evicted else ".")
+                        + ("h" if home_is_root else "."))
+        return (self.ctx.fingerprint(group), root.level,
+                ",".join(repr(lp) for lp in root.loops), ";".join(bits))
+
+    def _analyze_node(self, node: TileNode
+                      ) -> Tuple[NodeFlows, List[Tuple[int, str, str, float]]]:
+        """One node's flows plus its ordered per-level traffic adds."""
         flows = NodeFlows(node=node)
+        contribs: List[Tuple[int, str, str, float]] = []
         source_level = (node.parent.level if node.parent is not None
                         else self.arch.dram_index)
         slices = self.ctx.node_slices(node)
+        # Residency equals the slice geometry verbatim; the dict is
+        # shared read-only (NodeSlices instances may be cache entries).
+        flows.staged_words = slices.staged_words
         for tensor_name in slices.tensors:
+            # Fills/updates exist only for tensors whose slices cross
+            # into this node's buffer from a higher level (§5.1).
+            if not self.ctx.tensor_crossing(node, tensor_name):
+                continue
             reader_pairs = slices.readers.get(tensor_name, [])
             writer_pairs = slices.writers.get(tensor_name, [])
             # A slice is one buffer instance's residency: loops below the
             # node plus its unit-step (PE-lane) spatial loops.  Block-
             # distributing spatial loops multiply traffic in the walk.
             extents = slices.extents[tensor_name]
-            flows.staged_words[tensor_name] = slices.staged_words[tensor_name]
-
             home = self.ctx.home(tensor_name)
-            crossing = (home is None) or self._is_strict_ancestor(home, node)
-            if not crossing or node.level >= source_level:
-                continue
 
             if reader_pairs:
                 leaf, access = reader_pairs[0]
@@ -154,15 +250,15 @@ class DataMovementAnalysis:
                 words = self._walk_volume(extents, access, walk)
                 flows.fills[tensor_name] = (
                     flows.fills.get(tensor_name, 0.0) + words)
-                traffic[node.level].add("fill", tensor_name, words)
-                traffic[source_level].add("read", tensor_name, words)
+                contribs.append((node.level, "fill", tensor_name, words))
+                contribs.append((source_level, "read", tensor_name, words))
             if writer_pairs:
                 leaf, access = writer_pairs[0]
                 walk = self._build_walk(node, tensor_name, access, home)
                 words = self._walk_volume(extents, access, walk)
                 flows.updates[tensor_name] = (
                     flows.updates.get(tensor_name, 0.0) + words)
-                traffic[source_level].add("update", tensor_name, words)
+                contribs.append((source_level, "update", tensor_name, words))
                 # Read-modify-write: any update traffic beyond the
                 # reduction-free ideal is a partial sum written back early
                 # (an outer reduction loop displaced the slice), and each
@@ -173,9 +269,9 @@ class DataMovementAnalysis:
                 if rmw > 0:
                     flows.fills[tensor_name] = (
                         flows.fills.get(tensor_name, 0.0) + rmw)
-                    traffic[node.level].add("fill", tensor_name, rmw)
-                    traffic[source_level].add("read", tensor_name, rmw)
-        return flows
+                    contribs.append((node.level, "fill", tensor_name, rmw))
+                    contribs.append((source_level, "read", tensor_name, rmw))
+        return flows, contribs
 
     def _ideal_update_volume(self, extents, access, walk: "_Walk",
                              reduction_dims) -> float:
@@ -187,11 +283,6 @@ class DataMovementAnalysis:
                 mult_red *= count
         ideal_walk = _Walk(loops, walk.multiplier / max(1.0, mult_red), [])
         return self._walk_volume(extents, access, ideal_walk)
-
-    # ------------------------------------------------------------------
-    @staticmethod
-    def _is_strict_ancestor(candidate: TileNode, node: TileNode) -> bool:
-        return any(a is candidate for a in node.ancestors())
 
     # ------------------------------------------------------------------
     def _build_walk(self, node: TileNode, tensor_name: str,
@@ -216,16 +307,14 @@ class DataMovementAnalysis:
         for lp in node.spatial_loops:
             if lp.step == 1:
                 continue
-            disp = access.displacement({lp.dim: lp.step})
-            if any(d != 0 for d in disp):
+            if self._loop_displaces(access, lp):
                 multiplier *= lp.count
                 multiplied.append((lp.dim, lp.count))
         current: TileNode = node
         while current.parent is not None:
             parent = current.parent
             for lp in parent.spatial_loops:
-                disp = access.displacement({lp.dim: lp.step})
-                if any(d != 0 for d in disp):
+                if self._loop_displaces(access, lp):
                     multiplier *= lp.count
                     multiplied.append((lp.dim, lp.count))
             if (not stopped and self.model_eviction
@@ -243,6 +332,16 @@ class DataMovementAnalysis:
         walk_inner_to_outer.reverse()
         return _Walk(walk_inner_to_outer, multiplier, multiplied)
 
+    def _loop_displaces(self, access: TensorAccess, lp: Loop) -> bool:
+        """Whether one step of ``lp`` moves the access's slice (memoized)."""
+        key = (id(access), lp.dim, lp.step)
+        hit = self._displaces.get(key)
+        if hit is None:
+            disp = access.displacement({lp.dim: lp.step})
+            hit = any(d != 0 for d in disp)
+            self._displaces[key] = hit
+        return hit
+
     def _self_evicts(self, node: TileNode, tensor_name: str) -> bool:
         """Seq eviction applied to the node's own iterations (§5.1.2)."""
         if not self.model_eviction:
@@ -258,30 +357,98 @@ class DataMovementAnalysis:
         following = node.children[(users[-1] + 1) % len(node.children)]
         return not self.ctx.subtree_uses(following, tensor_name)
 
-    @staticmethod
-    def _evicted_at(parent: TileNode, child: TileNode,
+    def _evicted_at(self, parent: TileNode, child: TileNode,
                     tensor_name: str) -> bool:
-        """§5.1.2: Seq evicts slices the following sibling does not need."""
+        """§5.1.2: Seq evicts slices the following sibling does not need.
+
+        Memoized per run — the environment fingerprints and the walks of
+        a node's whole subtree ask about the same (parent, child, tensor)
+        triples.
+        """
         if not isinstance(parent, FusionNode):
             return False
         if parent.binding is not Binding.SEQ or len(parent.children) < 2:
             return False
-        idx = next(i for i, c in enumerate(parent.children) if c is child)
-        following = parent.children[(idx + 1) % len(parent.children)]
-        if following is child:
-            return False
-        uses = any(leaf.op.uses(tensor_name) for leaf in following.leaves())
-        return not uses
+        key = (id(parent), id(child), tensor_name)
+        hit = self._evictions.get(key)
+        if hit is None:
+            idx = next(i for i, c in enumerate(parent.children) if c is child)
+            following = parent.children[(idx + 1) % len(parent.children)]
+            hit = (following is not child
+                   and not self.ctx.subtree_uses(following, tensor_name))
+            self._evictions[key] = hit
+        return hit
 
     def _walk_volume(self, extents: Sequence[int], access: TensorAccess,
                      walk: _Walk) -> float:
+        """Moved words for one (tensor, walk): cached boundary recursion.
+
+        The recursion itself is integer arithmetic, so caching its result
+        (pre-multiplier) and re-applying the float ``walk.multiplier``
+        reproduces the uncached float bit-for-bit.  The cache key projects
+        the walk onto the access's referenced dims — see
+        :meth:`_projected_walk` for why that projection is exact.
+        """
+        store = self._volumes
+        if store is not None:
+            key = (access.signature()[0], tuple(extents),
+                   self._projected_walk(access, walk.loops))
+            moved = store.data.get(key)
+            if moved is None:
+                store.misses += 1
+                moved = self._recursion_volume(extents, access, walk.loops)
+                store.put(key, moved)
+            else:
+                store.hits += 1
+        else:
+            moved = self._recursion_volume(extents, access, walk.loops)
+        return moved * walk.multiplier
+
+    def _recursion_volume(self, extents: Sequence[int], access: TensorAccess,
+                          loops: Sequence[Loop]) -> int:
         volume = box_volume(extents)
-        counts = [lp.count for lp in walk.loops]
+        counts = [lp.count for lp in loops]
         deltas = []
-        for i, lp in enumerate(walk.loops):
-            disp = loop_displacement(access, lp, walk.loops[i + 1:])
+        for i, lp in enumerate(loops):
+            disp = loop_displacement(access, lp, loops[i + 1:])
             deltas.append(delta_volume(extents, disp))
-        return movement_recursion(volume, counts, deltas) * walk.multiplier
+        return movement_recursion(volume, counts, deltas)
+
+    def _projected_walk(self, access: TensorAccess,
+                        loops: Sequence[Loop]) -> str:
+        """Canonical form of a walk as one access sees it.
+
+        Two walks with equal projections yield equal boundary-recursion
+        results, exactly:
+
+        * a loop over an unreferenced dim has zero forward displacement,
+          contributes nothing to outer wrap-around, and its boundary
+          delta equals that of any other unreferenced loop at the same
+          position — the recursion step ``s' = c*s + (c-1)*d`` composes
+          so that adjacent unreferenced loops merge into their trip
+          product;
+        * trip-count-1 loops neither move the slice nor wrap, and drop
+          out;
+        * an innermost run of unreferenced loops multiplies ``s = 0``
+          and drops out entirely.
+
+        All steps are integer-exact, so cached volumes replay
+        byte-identically.
+        """
+        referenced = access.signature()[1]
+        parts: List[str] = []
+        pending = 1
+        for lp in loops:  # outer -> inner
+            if lp.dim in referenced:
+                if pending != 1:
+                    parts.append(f"*{pending}")
+                    pending = 1
+                if lp.count != 1:
+                    parts.append(f"{lp.dim}:{lp.count}x{lp.step}")
+            elif lp.count != 1:
+                pending *= lp.count
+        # The trailing (innermost) unreferenced run multiplies s == 0.
+        return ",".join(parts)
 
     # ------------------------------------------------------------------
     def _add_compute_accesses(self, traffic: Dict[int, LevelTraffic]) -> None:

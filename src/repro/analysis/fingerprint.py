@@ -1,0 +1,121 @@
+"""Structural subtree fingerprints for cross-tree artifact reuse.
+
+A mapper move (one MCTS factor change, one GA mutation) perturbs one
+subtree of the analysis tree; every other subtree is *structurally
+identical* to its counterpart in the previous candidate — same operators,
+same levels, same loops — just a different Python object.  The functions
+here reduce a subtree to a short content digest so memoized per-subtree
+artifacts (slice geometry, ``NumPE`` demands, per-node data-movement
+flows) can be recognised and reused across trees instead of being keyed
+by ``id(node)`` and dying with each tree.
+
+Digests are sha256-hex prefixes computed bottom-up: a node's fingerprint
+covers its own ``(kind, op-or-binding, level, loops)`` tuple plus its
+children's fingerprints, so two nodes share a fingerprint iff their
+subtrees are structurally interchangeable for any subtree-local
+analysis.  Within one :class:`~repro.tile.tree.AnalysisTree` fingerprints
+are unique per node (each operator appears in exactly one leaf, so
+sibling subtrees always differ).  Short *strings* are used as keys
+rather than nested tuples because CPython caches a string's hash —
+repeated dict lookups stay O(1) instead of re-hashing the whole subtree
+shape.
+
+:func:`workload_digest` and :func:`cache_namespace` scope shared-cache
+keys to one (workload, architecture, model-configuration) world so a
+single :class:`~repro.engine.cache.SubtreeArtifactCache` can safely be
+shared across engines and tests without cross-talk between equal-named
+nodes of different problems.
+
+This module lives under ``analysis`` (not ``engine``) so that
+:mod:`repro.analysis.context` can use it without importing the engine
+package; :mod:`repro.engine.signature` re-exports it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+from ..arch import Architecture
+from ..ir import Operator, Workload
+from ..tile.tree import FusionNode, OpTile, TileNode
+
+#: Hex chars kept per digest — 128 bits, far beyond collision reach for
+#: the number of distinct subtrees any search can visit.
+_DIGEST_LEN = 32
+
+
+def _local_signature(node: TileNode) -> str:
+    """The node's own structural identity, excluding its children."""
+    loops = ",".join(repr(lp) for lp in node.loops)
+    if isinstance(node, OpTile):
+        return f"op:{node.op.name}@{node.level}[{loops}]"
+    assert isinstance(node, FusionNode)
+    return f"fusion:{node.binding.value}@{node.level}[{loops}]"
+
+
+def node_fingerprints(root: TileNode) -> Dict[int, str]:
+    """Fingerprint of every subtree under ``root``, keyed by ``id(node)``.
+
+    One bottom-up walk; the map is what
+    :meth:`~repro.analysis.context.AnalysisContext.fingerprint` serves
+    lookups from (and how it detects nodes foreign to its tree).
+    """
+    fps: Dict[int, str] = {}
+
+    def visit(node: TileNode) -> str:
+        hasher = hashlib.sha256(_local_signature(node).encode())
+        for child in node.children_nodes():
+            hasher.update(b"|")
+            hasher.update(visit(child).encode())
+        fp = hasher.hexdigest()[:_DIGEST_LEN]
+        fps[id(node)] = fp
+        return fp
+
+    visit(root)
+    return fps
+
+
+def subtree_fingerprint(node: TileNode) -> str:
+    """Fingerprint of one subtree (convenience over a full-tree map)."""
+    return node_fingerprints(node)[id(node)]
+
+
+def _operator_signature(op: Operator) -> str:
+    def access_sig(access) -> str:
+        return (f"{access.tensor.name}{access.tensor.shape}"
+                f"x{access.tensor.word_bytes}"
+                f"[{','.join(repr(e) for e in access.exprs)}]")
+
+    ins = ";".join(access_sig(a) for a in op.inputs)
+    return (f"{op.name}/{op.kind}/{sorted(op.dims.items())}"
+            f"/{sorted(op.reduction_dims)}/{op.ops_per_point}"
+            f"<{ins}>{access_sig(op.output)}")
+
+
+def workload_digest(workload: Workload) -> str:
+    """Content digest of a workload's operators, accesses, and shapes.
+
+    Memoized on the workload instance (workloads are immutable after
+    construction) so per-evaluation contexts do not re-hash it.
+    """
+    cached = getattr(workload, "_structural_digest", None)
+    if cached is None:
+        text = workload.name + "\n" + "\n".join(
+            _operator_signature(op) for op in workload.operators)
+        cached = hashlib.sha256(text.encode()).hexdigest()[:_DIGEST_LEN]
+        workload._structural_digest = cached
+    return cached
+
+
+def cache_namespace(workload: Workload, arch: Architecture,
+                    model_eviction: bool, model_rmw: bool) -> str:
+    """Shared-cache key prefix scoping entries to one analysis world.
+
+    Subtree artifacts depend on the workload's operators/accesses, the
+    architecture only through its DRAM index (slice geometry and the
+    movement recursion never read capacities or bandwidths), and the two
+    data-movement ablation flags.
+    """
+    return (f"{workload_digest(workload)}|{arch.name}#{arch.dram_index}"
+            f"|e{int(model_eviction)}r{int(model_rmw)}")

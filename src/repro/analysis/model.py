@@ -53,17 +53,22 @@ class TileFlowModel:
         self.model_rmw = model_rmw
         self.pipeline = pipeline if pipeline is not None else DEFAULT_PIPELINE
 
-    def context(self, tree: AnalysisTree) -> AnalysisContext:
+    def context(self, tree: AnalysisTree,
+                artifact_cache=None) -> AnalysisContext:
         """A fresh evaluation context for ``tree`` on this model's arch.
 
         Callers that run several pipeline (prefixes) over the same tree
         — the engine's pre-screen-then-evaluate path — create the
         context once and thread it through, so completed passes and
-        memoized intermediates carry over.
+        memoized intermediates carry over.  ``artifact_cache`` plugs in
+        a persistent cross-evaluation subtree store
+        (:class:`~repro.engine.cache.SubtreeArtifactCache`), the
+        incremental-evaluation layer.
         """
         return AnalysisContext(tree, self.arch,
                                model_eviction=self.model_eviction,
-                               model_rmw=self.model_rmw)
+                               model_rmw=self.model_rmw,
+                               artifact_cache=artifact_cache)
 
     def evaluate(self, tree: AnalysisTree, validate: bool = True,
                  strict: bool = False, *, until: Optional[str] = None,

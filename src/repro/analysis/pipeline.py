@@ -31,7 +31,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 from .. import obs
-from ..tile.validate import validate_tree
+from ..tile.validate import validate_tree, validate_tree_cached
 from .context import AnalysisContext
 from .energy import compute_energy
 
@@ -69,13 +69,22 @@ class AnalysisPass:
 
 
 class ValidatePass(AnalysisPass):
-    """Structural validation (§4); raises on malformed trees."""
+    """Structural validation (§4); raises on malformed trees.
+
+    With a shared artifact cache attached the pass validates per
+    subtree fingerprint (:func:`~repro.tile.validate.validate_tree_cached`)
+    so only fresh subtrees are re-inspected; invalid trees raise the
+    same error as the uncached path.
+    """
 
     name = "validate"
     writes = ("validated",)
 
     def run(self, ctx: AnalysisContext) -> None:
-        validate_tree(ctx.tree)
+        if ctx.artifact_cache is not None:
+            validate_tree_cached(ctx)
+        else:
+            validate_tree(ctx.tree)
         ctx.put("validated", True)
 
 
@@ -109,8 +118,11 @@ class ResourceBoundsPass(AnalysisPass):
 
     * **Compute** — the §5.2 ``NumPE`` recursion is purely structural,
       so the bound is exact.
-    * **Memory** — the single-buffered slice bytes of each node are a
-      lower bound on its level's final per-instance footprint.
+    * **Memory** — each node's staged slice bytes, with crossing
+      tensors double-buffered exactly as the full resource analysis
+      does (``AnalysisContext.tensor_crossing``), lower-bound its
+      level's final per-instance footprint: the footprint recursion
+      only *adds* child contributions on top.
 
     Both are conservative: a mapping rejected here would also be
     rejected by the full resource analysis (property-tested in
@@ -141,7 +153,8 @@ class ResourceBoundsPass(AnalysisPass):
                 if used > level.capacity_bytes:
                     problems.append(
                         f"memory: level {level.name} needs at least "
-                        f"{used / 1024:.1f} KB per instance, capacity "
+                        f"{used / 1024:.1f} KB per instance "
+                        f"(double-buffered), capacity "
                         f"{level.capacity_bytes / 1024:.1f} KB "
                         f"{PRESCREEN_TAG}")
                     break

@@ -6,20 +6,25 @@ The engine sits between the mapper's search loops (GA + MCTS,
 determinism contract, and guidance on picking ``--workers``.
 """
 
-from .cache import LRUCache
+from .cache import (DEFAULT_SUBTREE_CACHE_SIZE, LRUCache,
+                    SubtreeArtifactCache)
 from .core import DEFAULT_CACHE_SIZE, EngineStats, EvaluationEngine
 from .prescreen import (PRESCREEN_TAG, compute_demand, is_prescreened,
                         prescreen, rejected_result)
-from .signature import (arch_fingerprint, digest, factors_fingerprint,
-                        genome_fingerprint, mapping_signature,
-                        template_signature, workload_fingerprint)
+from .signature import (arch_fingerprint, cache_namespace, digest,
+                        factors_fingerprint, genome_fingerprint,
+                        mapping_signature, node_fingerprints,
+                        subtree_fingerprint, template_signature,
+                        workload_digest, workload_fingerprint)
 
 __all__ = [
     "EvaluationEngine", "EngineStats", "DEFAULT_CACHE_SIZE",
-    "LRUCache",
+    "LRUCache", "SubtreeArtifactCache", "DEFAULT_SUBTREE_CACHE_SIZE",
     "prescreen", "compute_demand", "rejected_result", "is_prescreened",
     "PRESCREEN_TAG",
     "mapping_signature", "template_signature", "workload_fingerprint",
     "arch_fingerprint", "genome_fingerprint", "factors_fingerprint",
     "digest",
+    "node_fingerprints", "subtree_fingerprint", "workload_digest",
+    "cache_namespace",
 ]

@@ -1,16 +1,28 @@
-"""Bounded LRU memo cache for evaluation results.
+"""Bounded LRU caches backing the evaluation engine.
 
-A thin :class:`collections.OrderedDict` wrapper with move-to-end-on-hit
-semantics and a hard entry bound.  ``maxsize <= 0`` disables the cache
-entirely (every ``get`` misses, ``put`` is a no-op) so callers can switch
-memoization off — the benchmark's uncached baseline — without branching
-at every call site.
+:class:`LRUCache` is a thin :class:`collections.OrderedDict` wrapper with
+move-to-end-on-hit semantics and a hard entry bound.  ``maxsize <= 0``
+disables the cache entirely (every ``get`` misses, ``put`` is a no-op) so
+callers can switch memoization off — the benchmark's uncached baseline —
+without branching at every call site.
+
+:class:`SubtreeArtifactCache` holds per-*subtree* analysis artifacts
+(slice geometry, NumPE demands, boundary-recursion volumes, validation
+verdicts) that survive across ``evaluate()`` calls — the persistent half
+of the incremental evaluation layer (docs/ARCHITECTURE.md).  Its probes
+sit on the hottest path in the system (several dozen per candidate
+evaluation), so entries live in plain per-``(namespace, kind)`` dicts
+(:class:`KindStore`) that callers bind once and then probe with a single
+``dict.get`` — no namespaced key tuples, no ordering bookkeeping per
+hit.  The entry bound is global across stores; eviction is
+insertion-order within a store (the oldest entries of the family being
+written), which approximates LRU at a fraction of its per-hit cost.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Hashable, Optional
+from typing import Any, Dict, Hashable, Optional, Tuple
 
 
 class LRUCache:
@@ -57,3 +69,129 @@ class LRUCache:
 
     def clear(self) -> None:
         self._data.clear()
+
+
+#: Default bound for the subtree artifact cache.  Entries are small
+#: (slice dicts, flow dicts, a few floats each); a search over a
+#: handful of genomes visits a few thousand distinct subtrees.
+DEFAULT_SUBTREE_CACHE_SIZE = 8192
+
+
+class KindStore:
+    """One ``(namespace, kind)`` family of the subtree artifact cache.
+
+    ``data`` is the live entry dict — hot analysis loops bind a store
+    once (via :meth:`AnalysisContext.shared_store
+    <repro.analysis.context.AnalysisContext.shared_store>`) and probe it
+    with ``store.data.get(key)`` directly, bumping ``hits``/``misses``
+    themselves; :meth:`put` goes through the owner to maintain the
+    cache-wide entry bound.  ``None`` is not a storable value (it is the
+    miss sentinel).
+    """
+
+    __slots__ = ("data", "hits", "misses", "evictions", "_owner")
+
+    def __init__(self, owner: "SubtreeArtifactCache"):
+        self.data: Dict[Hashable, Any] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._owner = owner
+
+    def put(self, key: Hashable, value: Any) -> None:
+        owner = self._owner
+        if value is None or owner.maxsize <= 0:
+            return
+        if key not in self.data:
+            if owner.total >= owner.maxsize:
+                owner.evict_one(self)
+            owner.total += 1
+        self.data[key] = value
+
+
+class SubtreeArtifactCache:
+    """Cross-evaluation cache of per-subtree analysis artifacts.
+
+    Entries live in per-``(namespace, kind)`` :class:`KindStore` dicts:
+    ``kind`` names the artifact family (``"slices"``, ``"num_pe"``,
+    ``"walkvol"``, ``"valid"``, ``"cov"``) and the namespace pins the
+    workload/architecture/model-flag combination
+    (:func:`~repro.analysis.fingerprint.cache_namespace`).  Keys within
+    a store are structural subtree fingerprints (or fingerprint-derived
+    tuples) from :mod:`repro.analysis.fingerprint` — so a mapper move
+    that leaves a sibling subtree untouched finds that subtree's
+    artifacts here instead of recomputing them, across tree objects and
+    across ``EvaluationEngine.evaluate*`` calls.
+
+    Consumers must treat cached values as immutable.  The total entry
+    count is bounded by ``maxsize``; eviction drops the oldest entries
+    (insertion order) of the store being written into.  Hit/miss
+    counters live on the stores; the aggregate properties feed
+    ``engine.subtree_hits`` / ``engine.subtree_misses``.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_SUBTREE_CACHE_SIZE):
+        self.maxsize = int(maxsize)
+        self.total = 0
+        self._stores: Dict[Tuple[str, str], KindStore] = {}
+
+    def store(self, namespace: str, kind: str) -> KindStore:
+        """The (created-on-demand) store of one namespace/kind pair."""
+        key = (namespace, kind)
+        store = self._stores.get(key)
+        if store is None:
+            store = self._stores[key] = KindStore(self)
+        return store
+
+    def evict_one(self, preferred: KindStore) -> None:
+        """Drop one entry to make room, oldest-first from ``preferred``.
+
+        Falls back to the largest store when the preferred one is empty
+        (a fresh kind being inserted into a full cache).
+        """
+        victim = preferred
+        if not victim.data:
+            victim = max(self._stores.values(), key=lambda s: len(s.data))
+            if not victim.data:  # pragma: no cover - maxsize == 0 guard
+                return
+        del victim.data[next(iter(victim.data))]
+        victim.evictions += 1
+        self.total -= 1
+
+    @property
+    def hits(self) -> int:
+        return sum(s.hits for s in self._stores.values())
+
+    @property
+    def misses(self) -> int:
+        return sum(s.misses for s in self._stores.values())
+
+    @property
+    def evictions(self) -> int:
+        return sum(s.evictions for s in self._stores.values())
+
+    def __len__(self) -> int:
+        return self.total
+
+    def counts(self) -> Tuple[int, int]:
+        """(hits, misses) — snapshot/diff pairs for per-call attribution."""
+        hits = misses = 0
+        for s in self._stores.values():
+            hits += s.hits
+            misses += s.misses
+        return hits, misses
+
+    def stats(self) -> Dict[str, Any]:
+        by_hits: Dict[str, int] = {}
+        by_misses: Dict[str, int] = {}
+        for (_ns, kind), s in self._stores.items():
+            by_hits[kind] = by_hits.get(kind, 0) + s.hits
+            by_misses[kind] = by_misses.get(kind, 0) + s.misses
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self), "evictions": self.evictions,
+                "hits_by_kind": by_hits, "misses_by_kind": by_misses}
+
+    def clear(self) -> None:
+        for s in self._stores.values():
+            s.data.clear()
+        self.total = 0

@@ -10,6 +10,14 @@ calls sharing one engine — are never analysed twice.  Cache misses first
 pass the cheap feasibility pre-screen (:mod:`repro.engine.prescreen`);
 only candidates it cannot reject pay for the full five-stage analysis.
 
+Below the whole-mapping memo sits the *incremental* layer: a persistent
+:class:`~repro.engine.cache.SubtreeArtifactCache` keyed by structural
+subtree fingerprints (:mod:`repro.engine.signature`).  A mapper move
+perturbs one subtree, so the next evaluation reuses every untouched
+sibling's slice geometry and data-movement flows from earlier
+candidates and only recomputes the mutated path to the root —
+byte-identical results, structurally less work per candidate.
+
 ``workers > 1`` adds process-level parallelism for GA populations: each
 genome's MCTS factor tune is an independent task (the per-genome seeds
 are drawn up front by the caller from the generation RNG), tasks are
@@ -34,7 +42,8 @@ from ..mapper.encoding import (Genome, build_genome_tree,
                                genome_factor_space)
 from ..mapper.mcts import MCTSTuner
 from ..tile.tree import AnalysisTree
-from .cache import LRUCache
+from .cache import (DEFAULT_SUBTREE_CACHE_SIZE, LRUCache,
+                    SubtreeArtifactCache)
 from .prescreen import prescreen, rejected_result
 from .signature import (arch_fingerprint, mapping_signature,
                         template_signature, workload_fingerprint)
@@ -62,6 +71,13 @@ class EngineStats:
     #: Evaluations that stopped at the resource pass (violations found
     #: before latency/energy ran; partial-evaluation fast path).
     early_exits: int = 0
+    #: Subtree artifact cache lookups served from / missing in the
+    #: persistent cross-evaluation store (incremental analysis layer).
+    subtree_hits: int = 0
+    subtree_misses: int = 0
+    #: Energy passes skipped for EDP-objective candidates already known
+    #: infeasible.
+    edp_energy_skipped: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -106,6 +122,16 @@ class EvaluationEngine:
     objective:
         ``"latency"`` or ``"edp"`` — named so worker processes can
         reconstruct the engine from picklable configuration.
+    incremental:
+        Keep a persistent :class:`SubtreeArtifactCache` across
+        evaluations so a mapper move reuses every untouched sibling
+        subtree's slice geometry and data-movement flows and only
+        recomputes the mutated path to the root.  Results are
+        byte-identical either way (oracle- and property-tested); this
+        is purely a performance knob, on by default.
+    subtree_cache_size:
+        Entry bound of that cache; ``0`` disables it (equivalent to
+        ``incremental=False``).
     """
 
     def __init__(self, workload: Workload, arch: Architecture, *,
@@ -113,7 +139,9 @@ class EvaluationEngine:
                  cache_size: int = DEFAULT_CACHE_SIZE,
                  prescreen: bool = True, partial: bool = True,
                  model_eviction: bool = True,
-                 model_rmw: bool = True, objective: str = "latency"):
+                 model_rmw: bool = True, objective: str = "latency",
+                 incremental: bool = True,
+                 subtree_cache_size: int = DEFAULT_SUBTREE_CACHE_SIZE):
         if objective not in _OBJECTIVES:
             raise ValueError(f"unknown objective {objective!r}; choose from "
                              f"{sorted(_OBJECTIVES)}")
@@ -131,6 +159,13 @@ class EvaluationEngine:
         self.stats = EngineStats()
         self._cache = LRUCache(cache_size)
         self._cache_size = cache_size
+        self._incremental = incremental
+        self._subtree_cache_size = subtree_cache_size
+        #: Persistent cross-evaluation subtree artifact store (None when
+        #: incremental evaluation is off).
+        self.subtree_cache: Optional[SubtreeArtifactCache] = (
+            SubtreeArtifactCache(subtree_cache_size)
+            if incremental and subtree_cache_size > 0 else None)
         self._base = (workload_fingerprint(workload), arch_fingerprint(arch),
                       model_eviction, model_rmw)
         self._cost_fn = _OBJECTIVES[objective]
@@ -149,6 +184,8 @@ class EvaluationEngine:
             "model_eviction": self.model.model_eviction,
             "model_rmw": self.model.model_rmw,
             "objective": self.objective,
+            "incremental": self._incremental,
+            "subtree_cache_size": self._subtree_cache_size,
         }
 
     def cost_of(self, result: EvaluationResult) -> Cost:
@@ -171,8 +208,13 @@ class EvaluationEngine:
         tree = tree_of()
         # One context serves the screen and the evaluation: the screen's
         # validation and slice geometry are reused when the pipeline
-        # resumes for the full run.
-        ctx = self.model.context(tree)
+        # resumes for the full run.  The persistent subtree cache makes
+        # the context incremental across evaluations: artifacts of
+        # subtrees shared with previously analysed candidates are served
+        # instead of recomputed.
+        subtree = self.subtree_cache
+        before = subtree.counts() if subtree is not None else (0, 0)
+        ctx = self.model.context(tree, artifact_cache=subtree)
         result: Optional[EvaluationResult] = None
         if self.prescreen_enabled and not full:
             violations = prescreen(tree, self.arch,
@@ -185,6 +227,18 @@ class EvaluationEngine:
             self._bump("evaluations")
             if full or not self.partial_enabled:
                 result = self.model.evaluate(tree, context=ctx)
+            elif self.objective == "edp" and not self.respect_memory:
+                # EDP with violations tolerated: memory-violating
+                # candidates still need latency *and* energy, but
+                # compute violations are hard rejections — probe up to
+                # latency first and only pay for the energy pass when
+                # the candidate can still score.
+                result = self.model.evaluate(tree, context=ctx,
+                                             until="latency")
+                if any(v.startswith("compute") for v in result.violations):
+                    self._bump("edp_energy_skipped")
+                else:
+                    result = self.model.evaluate(tree, context=ctx)
             else:
                 # Early-exit on violations only when the cost function
                 # treats them as rejections; with respect_memory=False
@@ -196,6 +250,15 @@ class EvaluationEngine:
                     stop_on_violation=self.respect_memory)
                 if result.partial and result.violations:
                     self._bump("early_exits")
+                    if (self.objective == "edp"
+                            and "energy" not in result.completed_passes):
+                        self._bump("edp_energy_skipped")
+        if subtree is not None:
+            hits, misses = subtree.counts()
+            if hits > before[0]:
+                self._bump("subtree_hits", hits - before[0])
+            if misses > before[1]:
+                self._bump("subtree_misses", misses - before[1])
         self._cache.put(key, result)
         return result
 

@@ -6,7 +6,9 @@ slices -> resource bounds — over the candidate's
 :class:`~repro.analysis.context.AnalysisContext`.  The bounds pass
 (:class:`~repro.analysis.pipeline.ResourceBoundsPass`) proves compute
 demand exactly (the structural ``NumPE`` recursion) and lower-bounds
-per-node staged bytes; both are conservative, so the screen never
+per-node staged bytes with crossing tensors double-buffered exactly as
+the full resource analysis does; both are conservative, so the screen
+never
 rejects a mapping the full model would find feasible (property-tested
 in ``tests/property/test_prop_engine.py``) and search trajectories are
 identical with and without it.

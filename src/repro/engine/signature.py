@@ -10,6 +10,12 @@ samples, and worker processes.
 The tuple form (:func:`mapping_signature`) is what the in-memory LRU
 cache keys on; :func:`digest` renders any signature as a short stable
 hex string for logs and tests.
+
+The *structural subtree* fingerprints backing the incremental
+evaluation layer (:class:`~repro.engine.cache.SubtreeArtifactCache`
+keys) are re-exported here from :mod:`repro.analysis.fingerprint`,
+their implementation home — the analysis context cannot import the
+engine package without a cycle.
 """
 
 from __future__ import annotations
@@ -17,6 +23,10 @@ from __future__ import annotations
 import hashlib
 from typing import Mapping, Tuple
 
+# Re-exported: subtree fingerprints and shared-cache namespacing.
+from ..analysis.fingerprint import (cache_namespace,  # noqa: F401
+                                    node_fingerprints, subtree_fingerprint,
+                                    workload_digest)
 from ..arch import Architecture
 from ..ir import Operator, Workload
 from ..mapper.encoding import Genome

@@ -32,6 +32,18 @@ class ArchitectureError(TileFlowError):
     """Raised for inconsistent architecture specifications."""
 
 
+class ForeignNodeError(TileFlowError):
+    """Raised when an analysis context is queried with a node it does not own.
+
+    An :class:`~repro.analysis.context.AnalysisContext` is valid for
+    exactly one tree.  Asking it about a node from a different tree — or
+    about a node added by an in-place mutation it has not been told about
+    — used to silently return stale geometry keyed by a recycled
+    ``id()``; now it raises this error.  After mutating the context's own
+    tree in place, call ``ctx.invalidate()`` to re-arm it.
+    """
+
+
 class ResourceExceededError(TileFlowError):
     """Raised (or recorded) when a mapping exceeds memory capacity or PEs.
 

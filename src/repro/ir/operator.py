@@ -22,7 +22,7 @@ from .tensor import Tensor
 class TensorAccess:
     """An affine access of a tensor: one expression per tensor dimension."""
 
-    __slots__ = ("tensor", "exprs")
+    __slots__ = ("tensor", "exprs", "_info")
 
     def __init__(self, tensor: Tensor, exprs: Sequence[AffineExpr]):
         exprs = tuple(exprs)
@@ -32,11 +32,25 @@ class TensorAccess:
                 f"expressions, got {len(exprs)}")
         self.tensor = tensor
         self.exprs = exprs
+        self._info: Optional[Tuple[str, frozenset]] = None
 
     @property
     def dims(self) -> Tuple[str, ...]:
         """All iteration dims referenced by this access."""
         return union_dims(self.exprs)
+
+    def signature(self) -> Tuple[str, frozenset]:
+        """(stable repr, referenced-dim set), cached on the access.
+
+        Accesses are immutable and live as long as their workload, so
+        the incremental cache keys built from them
+        (:mod:`repro.analysis.datamovement`) can reuse one computed
+        signature across every evaluation of that workload.
+        """
+        info = self._info
+        if info is None:
+            info = self._info = (repr(self), frozenset(self.dims))
+        return info
 
     def extents_over(self, dim_extents: Mapping[str, int]) -> Tuple[int, ...]:
         """Slice extents per tensor dim when iteration dims span a box."""

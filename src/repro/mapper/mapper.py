@@ -110,7 +110,8 @@ class TileFlowMapper:
     def __init__(self, workload: Workload, arch: Architecture,
                  respect_memory: bool = True, seed: int = 0,
                  workers: int = 1, cache_size: Optional[int] = None,
-                 prescreen: bool = True, engine=None):
+                 prescreen: bool = True, incremental: bool = True,
+                 engine=None):
         self.workload = workload
         self.arch = arch
         self.model = TileFlowModel(arch)
@@ -119,6 +120,9 @@ class TileFlowMapper:
         self.workers = workers
         self.cache_size = cache_size
         self.prescreen = prescreen
+        #: Incremental subtree re-analysis across mapper moves (purely a
+        #: performance knob; trajectories are unchanged).
+        self.incremental = incremental
         self._engine = engine
 
     # ------------------------------------------------------------------
@@ -129,7 +133,7 @@ class TileFlowMapper:
         return EvaluationEngine(
             self.workload, self.arch, respect_memory=self.respect_memory,
             workers=self.workers, cache_size=cache_size,
-            prescreen=self.prescreen)
+            prescreen=self.prescreen, incremental=self.incremental)
 
     def _evaluate_genome(self, genome: Genome,
                          factors: Dict[str, int]) -> Cost:

@@ -28,8 +28,9 @@ from .metrics import (Counter, Gauge, Histogram, MetricsRegistry, count,
                       gauge, observe)
 from .metrics import registry as metrics_registry
 from .metrics import snapshot as metrics_snapshot
-from .report import (SpanStat, aggregate_spans, profile_dict, render_profile,
-                     summarize_trace_file)
+from .report import (SpanStat, aggregate_spans, engine_effectiveness,
+                     incremental_effectiveness, profile_dict,
+                     render_profile, summarize_trace_file)
 from .trace import (NOOP_SPAN, SpanRecord, Tracer, load_jsonl, span, traced)
 
 
@@ -62,6 +63,7 @@ __all__ = [
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "count", "gauge", "observe", "metrics_registry", "metrics_snapshot",
     "SpanStat", "aggregate_spans", "render_profile", "profile_dict",
+    "engine_effectiveness", "incremental_effectiveness",
     "summarize_trace_file",
     "enable", "disable", "is_enabled", "active_tracer",
 ]

@@ -93,6 +93,35 @@ def engine_effectiveness(metrics: Optional[Mapping[str, Mapping[str, Any]]]
     }
 
 
+def incremental_effectiveness(metrics: Optional[Mapping[str, Mapping[str,
+                                                                     Any]]]
+                              ) -> Optional[Dict[str, float]]:
+    """Derived incremental-analysis rates from the ``engine.*`` counters.
+
+    Returns None when the run never touched the subtree artifact cache
+    (incremental evaluation off, or no engine in the loop).
+    ``subtree_hit_rate`` is the fraction of per-subtree artifact lookups
+    (slice geometry, NumPE, data-movement flows) served from the
+    persistent cross-evaluation store instead of being recomputed.
+    """
+    def value(name: str) -> float:
+        snap = (metrics or {}).get(name, {})
+        return float(snap.get("value") or 0.0)
+
+    hits = value("engine.subtree_hits")
+    misses = value("engine.subtree_misses")
+    skipped = value("engine.edp_energy_skipped")
+    lookups = hits + misses
+    if lookups == 0 and skipped == 0:
+        return None
+    return {
+        "subtree_hits": hits,
+        "subtree_misses": misses,
+        "subtree_hit_rate": hits / lookups if lookups else 0.0,
+        "edp_energy_skipped": skipped,
+    }
+
+
 def render_profile(spans: Sequence[SpanRecord],
                    metrics: Optional[Mapping[str, Mapping[str, Any]]] = None,
                    top: int = 20) -> str:
@@ -162,6 +191,20 @@ def render_profile(spans: Sequence[SpanRecord],
                 f"{eng['early_exit_rate'] * 100:11.1f}% "
                 f"({eng['early_exits']:g} of {eng['full_evaluations']:g} "
                 f"evaluations stopped at first violation)")
+    inc = incremental_effectiveness(metrics)
+    if inc is not None:
+        lines.append("")
+        lines.append("== incremental analysis ==")
+        lines.append(
+            f"{'subtree artifact hit rate':40s} "
+            f"{inc['subtree_hit_rate'] * 100:11.1f}% "
+            f"({inc['subtree_hits']:g} of "
+            f"{inc['subtree_hits'] + inc['subtree_misses']:g} lookups "
+            f"served from the cross-evaluation cache)")
+        if inc["edp_energy_skipped"]:
+            lines.append(
+                f"{'energy passes skipped (EDP objective)':40s} "
+                f"{inc['edp_energy_skipped']:>12g}")
     return "\n".join(lines)
 
 
@@ -180,6 +223,9 @@ def profile_dict(spans: Sequence[SpanRecord],
     eng = engine_effectiveness(metrics)
     if eng is not None:
         payload["engine"] = eng
+    inc = incremental_effectiveness(metrics)
+    if inc is not None:
+        payload["incremental"] = inc
     return payload
 
 

@@ -32,10 +32,22 @@ class TileNode:
                  name: Optional[str] = None):
         if level < 0:
             raise TreeValidationError(f"node level must be >= 0, got {level}")
-        self.loops: Tuple[Loop, ...] = tuple(loops)
+        self._loops: Tuple[Loop, ...] = tuple(loops)
+        self._split: Optional[Tuple[List[Loop], List[Loop], int, int]] = None
         self.level = int(level)
         self.name = name
         self.parent: Optional["TileNode"] = None
+
+    @property
+    def loops(self) -> Tuple[Loop, ...]:
+        return self._loops
+
+    @loops.setter
+    def loops(self, loops: Sequence[Loop]) -> None:
+        # Mutating a node's loops in place (mapper moves on a live tree)
+        # must drop the cached temporal/spatial split.
+        self._loops = tuple(loops)
+        self._split = None
 
     # -- structure ------------------------------------------------------
     def children_nodes(self) -> Tuple["TileNode", ...]:
@@ -71,25 +83,41 @@ class TileNode:
         return tuple(seen.values())
 
     # -- loops ----------------------------------------------------------
+    def _splits(self) -> Tuple[List[Loop], List[Loop], int, int]:
+        """(temporal, spatial, temporal trip, spatial trip), memoized.
+
+        The split is asked for by every analysis that touches the node
+        (walk building, NumPE, executions); computing it once per loop
+        assignment instead of per query is a measurable win on the
+        mapper's hot path.  The ``loops`` setter clears the memo.
+        """
+        split = self._split
+        if split is None:
+            t, s = split_spatial(self._loops)
+            split = self._split = (t, s, product_of_counts(t),
+                                   product_of_counts(s))
+        return split
+
     @property
     def temporal_loops(self) -> List[Loop]:
-        return split_spatial(self.loops)[0]
+        return self._splits()[0]
 
     @property
     def spatial_loops(self) -> List[Loop]:
-        return split_spatial(self.loops)[1]
+        return self._splits()[1]
 
     @property
     def temporal_trip_count(self) -> int:
-        return product_of_counts(self.temporal_loops)
+        return self._splits()[2]
 
     @property
     def spatial_trip_count(self) -> int:
-        return product_of_counts(self.spatial_loops)
+        return self._splits()[3]
 
     @property
     def trip_count(self) -> int:
-        return product_of_counts(self.loops)
+        split = self._splits()
+        return split[2] * split[3]
 
     def loops_over(self, dim: str) -> List[Loop]:
         return [lp for lp in self.loops if lp.dim == dim]
@@ -181,6 +209,8 @@ class AnalysisTree:
         self.workload = workload
         self.root = root
         self.name = name or f"tree({workload.name})"
+        self._nodes: Optional[Tuple[TileNode, ...]] = None
+        self._paths: Dict[str, List[TileNode]] = {}
         self._leaf_of: Dict[str, OpTile] = {}
         for leaf in root.leaves():
             if leaf.op.name in self._leaf_of:
@@ -196,8 +226,13 @@ class AnalysisTree:
                 f"{missing}")
 
     # ------------------------------------------------------------------
-    def nodes(self) -> Iterator[TileNode]:
-        return self.root.walk()
+    def nodes(self) -> Tuple[TileNode, ...]:
+        """All nodes, pre-order.  Cached: tree *membership* is fixed at
+        construction (loop/factor mutations change node contents, never
+        the node set — splicing nodes requires a new AnalysisTree)."""
+        if self._nodes is None:
+            self._nodes = tuple(self.root.walk())
+        return self._nodes
 
     def leaf(self, op_name: str) -> OpTile:
         try:
@@ -208,10 +243,16 @@ class AnalysisTree:
             ) from None
 
     def op_path(self, op_name: str) -> List[TileNode]:
-        """Nodes from the root down to (and including) the op's leaf."""
-        leaf = self.leaf(op_name)
-        path = [leaf] + list(leaf.ancestors())
-        path.reverse()
+        """Nodes from the root down to (and including) the op's leaf.
+
+        The returned list is cached and shared — treat it as read-only.
+        """
+        path = self._paths.get(op_name)
+        if path is None:
+            leaf = self.leaf(op_name)
+            path = [leaf] + list(leaf.ancestors())
+            path.reverse()
+            self._paths[op_name] = path
         return path
 
     def tensor_home(self, tensor_name: str) -> Optional[TileNode]:

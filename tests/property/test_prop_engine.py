@@ -81,3 +81,40 @@ def test_cache_does_not_change_search_results(seed):
 @pytest.mark.parametrize("seed", [0, 13])
 def test_workers_do_not_change_search_results(seed):
     assert _explore(seed, workers=1) == _explore(seed, workers=2)
+
+
+@pytest.mark.parametrize("seed", [0, 13])
+def test_incremental_does_not_change_search_results(seed):
+    """The subtree cache is a pure perf knob, serial and parallel."""
+    assert _explore(seed) == _explore(seed, incremental=False)
+    assert (_explore(seed, workers=2)
+            == _explore(seed, workers=2, incremental=False))
+
+
+@given(st.integers(0, 2 ** 31), st.data())
+@settings(max_examples=25, deadline=None)
+def test_single_factor_move_is_byte_identical_incrementally(seed, data):
+    """A one-factor mapper move re-analysed incrementally == from scratch.
+
+    Evaluate point A to warm the engine's subtree cache, then move one
+    factor to get point B; the incremental evaluation of B (which serves
+    every subtree configuration shared with A from the cache) must be
+    byte-identical to a cache-free evaluation of B.
+    """
+    spec = arch.edge()
+    rng = random.Random(seed)
+    genome = Genome.random(WL, rng)
+    space = genome_factor_space(WL, genome)
+    point_a = space.random_point(rng)
+    name = data.draw(st.sampled_from(space.names), label="factor")
+    value = data.draw(st.sampled_from(space.choices[name]), label="value")
+    point_b = dict(point_a)
+    point_b[name] = value
+
+    engine = EvaluationEngine(WL, spec, incremental=True)
+    engine.evaluate_genome(genome, point_a, full=True)
+    incremental = engine.evaluate_genome(genome, point_b, full=True)
+
+    scratch = TileFlowModel(spec).evaluate(
+        build_genome_tree(WL, spec, genome, point_b))
+    assert incremental.to_dict() == scratch.to_dict()

@@ -35,8 +35,20 @@ ORACLE_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "data",
                            "analysis_oracle.json")
 
 
-def oracle_entries():
-    """Recompute every frozen-oracle entry with the current model."""
+def oracle_entries(artifact_cache=None):
+    """Recompute every frozen-oracle entry with the current model.
+
+    ``artifact_cache`` optionally threads one shared
+    :class:`~repro.engine.cache.SubtreeArtifactCache` through every
+    evaluation — the incremental path, which must reproduce the same
+    bytes.
+    """
+    def evaluate(model, tree):
+        if artifact_cache is None:
+            return model.evaluate(tree)
+        ctx = model.context(tree, artifact_cache=artifact_cache)
+        return model.evaluate(tree, context=ctx)
+
     out = {}
     for shape in ("Bert-S", "ViT/16-B"):
         wl = attention_from_shape(ATTENTION_SHAPES[shape])
@@ -44,13 +56,13 @@ def oracle_entries():
                             ("cloud", arch_mod.cloud())):
             model = TileFlowModel(spec)
             for df in ATTENTION_DATAFLOWS:
-                r = model.evaluate(attention_dataflow(df, wl, spec))
+                r = evaluate(model, attention_dataflow(df, wl, spec))
                 out[f"attn/{shape}/{aname}/{df}"] = r.to_dict()
     wl = conv_chain_from_shape(CONV_CHAIN_SHAPES["CC1"])
     spec = arch_mod.edge()
     model = TileFlowModel(spec)
     for df in CONV_DATAFLOWS:
-        r = model.evaluate(conv_dataflow(df, wl, spec))
+        r = evaluate(model, conv_dataflow(df, wl, spec))
         out[f"conv/CC1/edge/{df}"] = r.to_dict()
     wl = self_attention(2, 32, 64, expand_softmax=False)
     model = TileFlowModel(spec)
@@ -59,7 +71,7 @@ def oracle_entries():
         genome = Genome.random(wl, rng)
         factors = genome_factor_space(wl, genome).random_point(rng)
         tree = build_genome_tree(wl, spec, genome, factors)
-        out[f"genome/{i}"] = model.evaluate(tree).to_dict()
+        out[f"genome/{i}"] = evaluate(model, tree).to_dict()
     return out
 
 
@@ -68,6 +80,24 @@ def test_frozen_oracle_byte_identity():
     with open(ORACLE_PATH) as fh:
         frozen = fh.read()
     current = json.dumps(oracle_entries(), sort_keys=True, indent=1)
+    assert current == frozen
+
+
+def test_frozen_oracle_byte_identity_incremental():
+    """The incremental path reproduces the frozen oracle byte-for-byte.
+
+    All 58 entries run through a *single shared* subtree artifact cache,
+    so later entries are served from artifacts cached by earlier ones —
+    cache hits included, the serialized output must not move by a bit.
+    """
+    from repro.engine.cache import SubtreeArtifactCache
+
+    cache = SubtreeArtifactCache()
+    with open(ORACLE_PATH) as fh:
+        frozen = fh.read()
+    current = json.dumps(oracle_entries(artifact_cache=cache),
+                         sort_keys=True, indent=1)
+    assert cache.hits > 0  # the cache actually served artifacts
     assert current == frozen
 
 
@@ -111,6 +141,90 @@ def test_pipeline_matches_independent_composition(seed):
     assert result.resources.footprint_bytes == usage.footprint_bytes
     # 5. violations
     assert result.violations == violations
+
+
+# ----------------------------------------------------------------------
+# Incremental layer: shared-cache identity and cached validation.
+# ----------------------------------------------------------------------
+@given(st.integers(min_value=0, max_value=10 ** 6))
+@settings(max_examples=25, deadline=None)
+def test_shared_cache_reevaluation_is_byte_identical(seed):
+    """Cold and warm runs through one shared cache match the uncached run.
+
+    The warm run re-builds the same tree (new node objects, same
+    structure), so slices, validation verdicts, walk volumes, and whole
+    group flows are all served from the cache — and must reproduce the
+    uncached result bit-for-bit.
+    """
+    from repro.engine.cache import SubtreeArtifactCache
+
+    rng = random.Random(seed)
+    genome = Genome.random(_WL, rng)
+    factors = genome_factor_space(_WL, genome).random_point(rng)
+
+    model = TileFlowModel(_SPEC)
+    uncached = model.evaluate(
+        build_genome_tree(_WL, _SPEC, genome, factors)).to_dict()
+
+    cache = SubtreeArtifactCache()
+    for _ in range(2):  # cold fill, then warm replay
+        tree = build_genome_tree(_WL, _SPEC, genome, factors)
+        ctx = model.context(tree, artifact_cache=cache)
+        cached = model.evaluate(tree, context=ctx).to_dict()
+        assert cached == uncached
+    assert cache.hits > 0
+
+
+@given(st.integers(min_value=0, max_value=10 ** 6), st.booleans())
+@settings(max_examples=25, deadline=None)
+def test_cached_validation_matches_full_check(seed, corrupt):
+    """``validate_tree_cached`` == ``validate_tree``, valid or not.
+
+    ``corrupt`` flattens every loop over one dim to a single iteration,
+    leaving that dim's coverage product short of its size; the cached
+    validator must raise the exact message the full checker raises (it
+    re-runs the full check on any problem precisely to keep the message
+    order canonical).
+    """
+    from repro.analysis import AnalysisContext
+    from repro.engine.cache import SubtreeArtifactCache
+    from repro.errors import TreeValidationError
+    from repro.tile.loops import Loop
+    from repro.tile.validate import validate_tree, validate_tree_cached
+
+    rng = random.Random(seed)
+    genome = Genome.random(_WL, rng)
+    factors = genome_factor_space(_WL, genome).random_point(rng)
+    tree = build_genome_tree(_WL, _SPEC, genome, factors)
+    if corrupt:
+        dim_name = rng.choice(sorted(
+            {d for op in _WL.operators
+             for d, size in op.dims.items() if size > 1}))
+        for node in tree.nodes():
+            if any(lp.dim == dim_name and lp.count > 1
+                   for lp in node.loops):
+                node.loops = [
+                    lp if lp.dim != dim_name
+                    else Loop(lp.dim, 1, lp.step, lp.spatial)
+                    for lp in node.loops]
+
+    full_error = None
+    try:
+        validate_tree(tree)
+    except TreeValidationError as err:
+        full_error = str(err)
+
+    cache = SubtreeArtifactCache()
+    for _ in range(2):  # second round exercises the cache-hit path
+        ctx = AnalysisContext(tree, _SPEC, artifact_cache=cache)
+        cached_error = None
+        try:
+            validate_tree_cached(ctx)
+        except TreeValidationError as err:
+            cached_error = str(err)
+        assert cached_error == full_error
+    if corrupt:
+        assert full_error is not None
 
 
 if __name__ == "__main__":  # regenerate the frozen oracle
