@@ -62,6 +62,9 @@ def run_config(name: str, args: argparse.Namespace, *, workers: int,
     seconds = time.perf_counter() - start
     stats = engine.stats
     evals = stats.evaluations
+    if args.ledger:
+        record_run(args, name, workload, spec, engine, result, seconds,
+                   workers=workers)
     return {
         "name": name,
         "workers": workers,
@@ -78,6 +81,39 @@ def run_config(name: str, args: argparse.Namespace, *, workers: int,
     }
 
 
+def record_run(args, name, workload, spec, engine, result, seconds, *,
+               workers):
+    """Drop a run-ledger manifest so bench runs can be `repro runs diff`ed."""
+    from repro.engine.signature import (arch_fingerprint, digest,
+                                        workload_fingerprint)
+    from repro.obs import ledger as ledger_mod
+    from repro.obs.events import jsonable_cost
+
+    ledger = ledger_mod.RunLedger(args.ledger)
+    run_id = ledger.new_run_id(salt=f"bench-{name}")
+    path = ledger.record(ledger_mod.build_manifest(
+        run_id=run_id, command="bench_mapper_perf",
+        workload={"name": workload.name,
+                  "fingerprint": digest(workload_fingerprint(workload))},
+        arch={"name": spec.name,
+              "fingerprint": digest(arch_fingerprint(spec))},
+        config=dict(engine.config(), generations=args.generations,
+                    population=args.population, samples=args.samples,
+                    workers=workers, bench_config=name),
+        seeds={"seed": args.seed},
+        champion={
+            "cost": jsonable_cost(result.best_cost),
+            "signature": engine.mapping_digest(result.best_genome,
+                                               result.best_factors),
+            "genome": result.best_genome.describe(workload),
+            "factors": dict(result.best_factors),
+        },
+        counters=engine.stats.to_dict(),
+        wall_s=seconds,
+        namespace=digest(engine._base)))
+    print(f"[bench]   run recorded: {run_id} -> {path}", flush=True)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--generations", type=int, default=12)
@@ -91,6 +127,9 @@ def main(argv=None) -> int:
     parser.add_argument("--hidden", type=int, default=256)
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--out", default="BENCH_mapper.json")
+    parser.add_argument("--ledger", default=None, metavar="DIR",
+                        help="record one run-ledger manifest per config "
+                             "under DIR (compare with `repro runs diff`)")
     args = parser.parse_args(argv)
 
     configs = [

@@ -155,6 +155,10 @@ class AnalysisContext:
         self._ns: Optional[str] = None
         #: kind -> bound KindStore of ``artifact_cache`` (lazy).
         self._kind_stores: Dict[str, Any] = {}
+        #: Context-local memo hits (slices/NumPE served from this
+        #: evaluation's own dicts, as opposed to the shared store or a
+        #: fresh compute) — ``repro explain`` provenance attribution.
+        self.memo_hits = 0
         self._slices: Dict[str, NodeSlices] = {}
         self._num_pe: Dict[str, Tuple[int, int]] = {}
         self._executions: Dict[str, int] = {}
@@ -286,6 +290,8 @@ class AnalysisContext:
                 cached = NodeSlices(node)
                 self.shared_put("slices", fp, cached)
             self._slices[fp] = cached
+        else:
+            self.memo_hits += 1
         return cached
 
     def num_pe(self, node: TileNode) -> Tuple[int, int]:
@@ -297,6 +303,8 @@ class AnalysisContext:
                 cached = self._num_pe_recurse(node)
                 self.shared_put("num_pe", fp, cached)
             self._num_pe[fp] = cached
+        else:
+            self.memo_hits += 1
         return cached
 
     def _num_pe_recurse(self, node: TileNode) -> Tuple[int, int]:

@@ -132,18 +132,24 @@ class ResourceBoundsPass(AnalysisPass):
 
     name = "resource_bounds"
     reads = ("slices",)
-    writes = ("bound_violations",)
+    writes = ("bound_violations", "bound_violation_codes")
 
     def run(self, ctx: AnalysisContext) -> None:
         problems: List[str] = []
+        #: Machine-readable reason codes, index-parallel to ``problems``
+        #: (``prescreen.reject`` events and ``repro explain`` report
+        #: them; the human strings stay byte-compatible with PR-3).
+        codes: List[str] = []
         mac, vec = ctx.num_pe(ctx.tree.root)
         if mac > ctx.arch.pe_count:
             problems.append(f"compute: {mac} MAC PEs needed, "
                             f"{ctx.arch.pe_count} available {PRESCREEN_TAG}")
+            codes.append(f"compute.mac:{mac}>{ctx.arch.pe_count}")
         elif vec > ctx.arch.vector_pe_count:
             problems.append(
                 f"compute: {vec} vector lanes needed, "
                 f"{ctx.arch.vector_pe_count} available {PRESCREEN_TAG}")
+            codes.append(f"compute.vector:{vec}>{ctx.arch.vector_pe_count}")
         if ctx.check_memory:
             for node in ctx.tree.nodes():
                 level = ctx.arch.level(node.level)
@@ -157,8 +163,10 @@ class ResourceBoundsPass(AnalysisPass):
                         f"(double-buffered), capacity "
                         f"{level.capacity_bytes / 1024:.1f} KB "
                         f"{PRESCREEN_TAG}")
+                    codes.append(f"memory.capacity:{level.name}")
                     break
         ctx.put("bound_violations", problems)
+        ctx.put("bound_violation_codes", codes)
 
 
 class ResourcesPass(AnalysisPass):

@@ -11,10 +11,16 @@ Thin wrappers over the library for the common flows:
   ...), the same output the benches print.
 * ``stats``     — replay a ``--trace`` JSONL file into the profile
   summary ``--profile`` prints.
+* ``runs``      — list/show/diff the persistent run ledger written by
+  ``search --ledger DIR``.
+* ``explain``   — per-pass self-time and artifact provenance (context
+  memo vs subtree cache vs fresh) of one evaluation, plus the exact
+  pre-screen bound that would fire.
 
-Every command accepts the observability flags ``--trace FILE`` /
-``--profile`` (see :mod:`repro.obs` and docs/OBSERVABILITY.md) plus the
-output-mode flags ``--json`` / ``--quiet``.  All output is routed
+Every command accepts the observability flags ``--trace FILE``
+(``--trace-format jsonl|chrome``), ``--events FILE``, and ``--profile``
+(see :mod:`repro.obs` and docs/OBSERVABILITY.md) plus the output-mode
+flags ``--json`` / ``--quiet``.  All output is routed
 through one :class:`OutputWriter`: in ``--json`` mode only the JSON
 payload reaches stdout (no interleaved headers), and the ``--profile``
 summary goes to stderr so it never corrupts machine-readable output.
@@ -34,6 +40,8 @@ from .analysis import TileFlowModel
 from .dataflows import (ATTENTION_DATAFLOWS, CONV_DATAFLOWS,
                         attention_dataflow, conv_dataflow)
 from .mapper import TileFlowMapper
+from .obs import events as events_mod
+from .obs import ledger as ledger_mod
 from .tile import render_notation
 from .workloads import (ATTENTION_SHAPES, CONV_CHAIN_SHAPES,
                         attention_from_shape, conv_chain_from_shape)
@@ -126,14 +134,51 @@ def cmd_compare(args) -> int:
 
 
 def cmd_search(args) -> int:
+    import time
+
+    from .engine import EvaluationEngine
+    from .engine.signature import (arch_fingerprint, digest,
+                                   workload_fingerprint)
+
     w = args.writer
     workload = _workload(args)
     spec = arch_mod.by_name(args.arch)
+    engine = EvaluationEngine(workload, spec, workers=args.workers)
     mapper = TileFlowMapper(workload, spec, seed=args.seed,
-                            workers=args.workers)
-    result = mapper.explore(generations=args.generations,
-                            population=args.population,
-                            mcts_samples=args.samples)
+                            workers=args.workers, engine=engine)
+    start = time.perf_counter()
+    try:
+        result = mapper.explore(generations=args.generations,
+                                population=args.population,
+                                mcts_samples=args.samples)
+        wall_s = time.perf_counter() - start
+    finally:
+        engine.shutdown()
+    if args.ledger:
+        ledger = ledger_mod.RunLedger(args.ledger)
+        run_id = args.run_id or ledger.new_run_id(salt=args.workload)
+        manifest = ledger_mod.build_manifest(
+            run_id=run_id, command="search",
+            workload={"name": workload.name,
+                      "fingerprint": digest(workload_fingerprint(workload))},
+            arch={"name": spec.name,
+                  "fingerprint": digest(arch_fingerprint(spec))},
+            config=dict(engine.config(), generations=args.generations,
+                        population=args.population, samples=args.samples,
+                        workers=args.workers),
+            seeds={"seed": args.seed},
+            champion={
+                "cost": events_mod.jsonable_cost(result.best_cost),
+                "signature": engine.mapping_digest(result.best_genome,
+                                                   result.best_factors),
+                "genome": result.best_genome.describe(workload),
+                "factors": dict(result.best_factors),
+            },
+            counters=engine.stats.to_dict(),
+            wall_s=wall_s,
+            namespace=digest(engine._base))
+        path = ledger.record(manifest)
+        w.emit(f"run recorded: {run_id} -> {path}")
     w.emit_json(result.to_dict())
     w.emit(f"best ordering/binding: "
            f"{result.best_genome.describe(workload)}")
@@ -236,6 +281,55 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_runs(args) -> int:
+    """Inspect the persistent run ledger (list | show | diff)."""
+    w = args.writer
+    ledger = ledger_mod.RunLedger(args.root)
+    try:
+        if args.verb == "list":
+            manifests = ledger.manifests()
+            w.emit(ledger_mod.render_run_list(manifests))
+            w.emit_json({"runs": manifests})
+            return 0
+        if args.verb == "show":
+            ids = args.run_ids or ledger.run_ids()[-1:]
+            if not ids:
+                raise SystemExit("runs show: ledger is empty")
+            manifest = ledger.load(ids[0])
+            w.emit(ledger_mod.render_manifest(manifest))
+            w.emit_json(manifest)
+            return 0
+        # diff: explicit A B, or the two most recent runs.
+        ids = args.run_ids or ledger.run_ids()[-2:]
+        if len(ids) != 2:
+            raise SystemExit("runs diff: need two run ids (or a ledger "
+                             "with at least two runs)")
+        diff = ledger_mod.diff_manifests(ledger.load(ids[0]),
+                                         ledger.load(ids[1]),
+                                         tolerance=args.tolerance)
+        w.emit(ledger_mod.render_diff(diff))
+        w.emit_json(diff)
+        if args.fail_on_regression and diff["champion"]["regressed"]:
+            return 1
+        return 0
+    except ledger_mod.LedgerError as exc:
+        raise SystemExit(str(exc))
+
+
+def cmd_explain(args) -> int:
+    """Per-pass timing + artifact provenance of one evaluation."""
+    from .obs import explain as explain_mod  # lazy: imports the engine
+
+    w = args.writer
+    workload = _workload(args)
+    spec = arch_mod.by_name(args.arch)
+    tree = _dataflow(workload, args.dataflow, spec)
+    report = explain_mod.explain_tree(tree, spec)
+    w.emit(explain_mod.render_explain(report))
+    w.emit_json(report)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     common = argparse.ArgumentParser(add_help=False)
     out = common.add_argument_group("output")
@@ -245,11 +339,19 @@ def build_parser() -> argparse.ArgumentParser:
                      help="suppress human-readable output")
     prof = common.add_argument_group("observability")
     prof.add_argument("--trace", metavar="FILE", default=None,
-                      help="record spans/metrics to a JSONL trace file "
-                           "(replay with `repro stats FILE`)")
+                      help="record spans/metrics to a trace file "
+                           "(replay JSONL traces with `repro stats FILE`)")
+    prof.add_argument("--trace-format", choices=("jsonl", "chrome"),
+                      default="jsonl",
+                      help="trace file format: line-based JSONL (default) "
+                           "or a Chrome Trace Event JSON for "
+                           "chrome://tracing / ui.perfetto.dev")
     prof.add_argument("--profile", action="store_true",
                       help="print a profile summary (spans by self-time, "
                            "counters) to stderr when the command finishes")
+    prof.add_argument("--events", metavar="FILE", default=None,
+                      help="stream structured events (one JSON object per "
+                           "line; schema: tests/data/event_schema.json)")
 
     parser = argparse.ArgumentParser(
         prog="repro", description="TileFlow reproduction CLI")
@@ -282,6 +384,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="worker processes for population evaluation "
                         "(results are identical for any value; see "
                         "docs/PERFORMANCE.md)")
+    p.add_argument("--ledger", metavar="DIR", default=None,
+                   help="record a run manifest under DIR (inspect with "
+                        "`repro runs list|show|diff`)")
+    p.add_argument("--run-id", default=None,
+                   help="explicit run id for --ledger (default: "
+                        "timestamp-<workload>)")
     p.set_defaults(func=cmd_search)
 
     p = sub.add_parser("validate", parents=[common],
@@ -300,10 +408,36 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=20,
                    help="span names to show (by self-time)")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("runs", parents=[common],
+                       help="inspect the run ledger")
+    p.add_argument("verb", choices=("list", "show", "diff"))
+    p.add_argument("run_ids", nargs="*",
+                   help="run id for show / two ids (A B) for diff; "
+                        "defaults to the most recent run(s)")
+    p.add_argument("--root", default=ledger_mod.DEFAULT_RUNS_ROOT,
+                   help="ledger directory (default: runs/)")
+    p.add_argument("--tolerance", type=float, default=0.0,
+                   help="relative champion-cost slack before diff calls "
+                        "a regression")
+    p.add_argument("--fail-on-regression", action="store_true",
+                   help="exit nonzero when diff detects a champion-cost "
+                        "regression")
+    p.set_defaults(func=cmd_runs)
+
+    p = sub.add_parser("explain", parents=[common],
+                       help="per-pass timing + artifact provenance of "
+                            "one evaluation")
+    p.add_argument("workload", help="shape name (Bert-S, CC1, ...)")
+    p.add_argument("dataflow", help="dataflow template name")
+    p.add_argument("--arch", default="edge")
+    p.set_defaults(func=cmd_explain)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    import time
+
     args = build_parser().parse_args(argv)
     args.writer = OutputWriter(json_mode=getattr(args, "json", False),
                                quiet=getattr(args, "quiet", False))
@@ -314,8 +448,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             trace_fh = open(trace_path, "w")
         except OSError as exc:
             raise SystemExit(f"cannot write trace file: {exc}")
+    events_path = getattr(args, "events", None)
+    bus = None
+    if events_path:
+        try:
+            events_fh = open(events_path, "w")
+        except OSError as exc:
+            raise SystemExit(f"cannot write events file: {exc}")
+        bus = events_mod.enable(sinks=[events_mod.JsonlSink(events_fh)])
+        bus.emit("run.start", command=args.command,
+                 label=getattr(args, "workload", "") or "")
     tracer = (obs.enable() if trace_fh or getattr(args, "profile", False)
               else None)
+    start = time.perf_counter()
+    rc: Optional[int] = None
     try:
         rc = args.func(args)
     except BrokenPipeError:  # e.g. `repro stats trace.jsonl | head`
@@ -323,12 +469,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.dup2(devnull, sys.stdout.fileno())
         rc = 141  # 128 + SIGPIPE, the conventional shell exit code
     finally:
+        if bus is not None:
+            bus.emit("run.end", command=args.command,
+                     outcome="ok" if rc == 0 else
+                     ("error" if rc is None else f"exit:{rc}"),
+                     wall_s=time.perf_counter() - start)
+            events_mod.disable()
+            bus.close()
         if tracer is not None:
             obs.disable()
             snapshot = obs.metrics_snapshot()
             if trace_fh is not None:
                 with trace_fh:
-                    tracer.dump_jsonl(trace_fh, metrics=snapshot)
+                    if getattr(args, "trace_format", "jsonl") == "chrome":
+                        obs.dump_chrome(trace_fh, tracer.spans, snapshot)
+                    else:
+                        tracer.dump_jsonl(trace_fh, metrics=snapshot)
             if getattr(args, "profile", False):
                 print(obs.render_profile(tracer.spans, snapshot),
                       file=sys.stderr)

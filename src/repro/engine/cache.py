@@ -24,6 +24,8 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Dict, Hashable, Optional, Tuple
 
+from .. import obs
+
 
 class LRUCache:
     """Least-recently-used mapping with a fixed capacity."""
@@ -89,10 +91,12 @@ class KindStore:
     miss sentinel).
     """
 
-    __slots__ = ("data", "hits", "misses", "evictions", "_owner")
+    __slots__ = ("data", "kind", "hits", "misses", "evictions", "_owner")
 
-    def __init__(self, owner: "SubtreeArtifactCache"):
+    def __init__(self, owner: "SubtreeArtifactCache", kind: str = ""):
         self.data: Dict[Hashable, Any] = {}
+        #: Artifact family name; lets eviction be attributed per kind.
+        self.kind = kind
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -133,6 +137,9 @@ class SubtreeArtifactCache:
     def __init__(self, maxsize: int = DEFAULT_SUBTREE_CACHE_SIZE):
         self.maxsize = int(maxsize)
         self.total = 0
+        #: Running eviction total (cheap int; avoids store iteration on
+        #: the engine's per-evaluation snapshot/diff path).
+        self.eviction_count = 0
         self._stores: Dict[Tuple[str, str], KindStore] = {}
 
     def store(self, namespace: str, kind: str) -> KindStore:
@@ -140,7 +147,7 @@ class SubtreeArtifactCache:
         key = (namespace, kind)
         store = self._stores.get(key)
         if store is None:
-            store = self._stores[key] = KindStore(self)
+            store = self._stores[key] = KindStore(self, kind)
         return store
 
     def evict_one(self, preferred: KindStore) -> None:
@@ -156,7 +163,12 @@ class SubtreeArtifactCache:
                 return
         del victim.data[next(iter(victim.data))]
         victim.evictions += 1
+        self.eviction_count += 1
         self.total -= 1
+        # Evictions are orders of magnitude rarer than probes, so the
+        # per-kind profile counter can live here rather than on a
+        # snapshot/diff path.
+        obs.count(f"engine.subtree_evictions.{victim.kind}")
 
     @property
     def hits(self) -> int:
@@ -181,6 +193,23 @@ class SubtreeArtifactCache:
             misses += s.misses
         return hits, misses
 
+    def evictions_by_kind(self) -> Dict[str, int]:
+        """Eviction totals attributed per artifact kind (all namespaces)."""
+        out: Dict[str, int] = {}
+        for (_ns, kind), s in self._stores.items():
+            if s.evictions:
+                out[kind] = out.get(kind, 0) + s.evictions
+        return out
+
+    def counts_by_kind(self) -> Dict[str, Tuple[int, int, int]]:
+        """``kind -> (hits, misses, evictions)`` — per-evaluation event
+        deltas diff two of these snapshots."""
+        out: Dict[str, Tuple[int, int, int]] = {}
+        for (_ns, kind), s in self._stores.items():
+            h, m, e = out.get(kind, (0, 0, 0))
+            out[kind] = (h + s.hits, m + s.misses, e + s.evictions)
+        return out
+
     def stats(self) -> Dict[str, Any]:
         by_hits: Dict[str, int] = {}
         by_misses: Dict[str, int] = {}
@@ -189,7 +218,8 @@ class SubtreeArtifactCache:
             by_misses[kind] = by_misses.get(kind, 0) + s.misses
         return {"hits": self.hits, "misses": self.misses,
                 "entries": len(self), "evictions": self.evictions,
-                "hits_by_kind": by_hits, "misses_by_kind": by_misses}
+                "hits_by_kind": by_hits, "misses_by_kind": by_misses,
+                "evictions_by_kind": self.evictions_by_kind()}
 
     def clear(self) -> None:
         for s in self._stores.values():

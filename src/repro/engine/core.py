@@ -41,11 +41,12 @@ from ..mapper.cost import Cost, edp_cost, latency_cost
 from ..mapper.encoding import (Genome, build_genome_tree,
                                genome_factor_space)
 from ..mapper.mcts import MCTSTuner
+from ..obs import events
 from ..tile.tree import AnalysisTree
 from .cache import (DEFAULT_SUBTREE_CACHE_SIZE, LRUCache,
                     SubtreeArtifactCache)
 from .prescreen import prescreen, rejected_result
-from .signature import (arch_fingerprint, mapping_signature,
+from .signature import (arch_fingerprint, digest, mapping_signature,
                         template_signature, workload_fingerprint)
 
 TemplateFn = Callable[..., AnalysisTree]
@@ -75,6 +76,9 @@ class EngineStats:
     #: persistent cross-evaluation store (incremental analysis layer).
     subtree_hits: int = 0
     subtree_misses: int = 0
+    #: Entries dropped from the subtree artifact cache to honour its
+    #: bound (per-kind attribution lives on the cache itself).
+    subtree_evictions: int = 0
     #: Energy passes skipped for EDP-objective candidates already known
     #: infeasible.
     edp_energy_skipped: int = 0
@@ -200,11 +204,22 @@ class EvaluationEngine:
     # -- memoized evaluation ---------------------------------------------
     def _evaluate_key(self, key, tree_of: Callable[[], AnalysisTree],
                       full: bool = False) -> EvaluationResult:
+        # Event payloads (signature digests, per-kind snapshots) are only
+        # built when the bus is live — the disabled path pays one module
+        # read per evaluation.
+        emitting = events.is_enabled()
+        key_digest = digest(key) if emitting else ""
         cached = self._cache.get(key)
         if cached is not None and not (full and cached.partial):
             self._bump("cache_hits")
+            if emitting:
+                events.emit("engine.memo", outcome="hit",
+                            mapping=key_digest, full=bool(full))
             return cached
         self._bump("cache_misses")
+        if emitting:
+            events.emit("engine.memo", outcome="miss",
+                        mapping=key_digest, full=bool(full))
         tree = tree_of()
         # One context serves the screen and the evaluation: the screen's
         # validation and slice geometry are reused when the pipeline
@@ -214,6 +229,9 @@ class EvaluationEngine:
         # instead of recomputed.
         subtree = self.subtree_cache
         before = subtree.counts() if subtree is not None else (0, 0)
+        before_ev = subtree.eviction_count if subtree is not None else 0
+        before_kinds = (subtree.counts_by_kind()
+                        if emitting and subtree is not None else None)
         ctx = self.model.context(tree, artifact_cache=subtree)
         result: Optional[EvaluationResult] = None
         if self.prescreen_enabled and not full:
@@ -222,6 +240,10 @@ class EvaluationEngine:
                                    context=ctx)
             if violations:
                 self._bump("prescreen_rejects")
+                if emitting:
+                    events.emit(
+                        "prescreen.reject", mapping=key_digest,
+                        codes=list(ctx.get("bound_violation_codes") or ()))
                 result = rejected_result(tree, self.arch, violations)
         if result is None:
             self._bump("evaluations")
@@ -259,6 +281,18 @@ class EvaluationEngine:
                 self._bump("subtree_hits", hits - before[0])
             if misses > before[1]:
                 self._bump("subtree_misses", misses - before[1])
+            if subtree.eviction_count > before_ev:
+                self._bump("subtree_evictions",
+                           subtree.eviction_count - before_ev)
+            if before_kinds is not None:
+                after_kinds = subtree.counts_by_kind()
+                for kind in sorted(after_kinds):
+                    h, m, e = after_kinds[kind]
+                    bh, bm, be = before_kinds.get(kind, (0, 0, 0))
+                    if h > bh or m > bm or e > be:
+                        events.emit("engine.subtree", kind=kind,
+                                    hits=h - bh, misses=m - bm,
+                                    evictions=e - be)
         self._cache.put(key, result)
         return result
 
@@ -275,6 +309,12 @@ class EvaluationEngine:
         return self._evaluate_key(
             key, lambda: build_genome_tree(self.workload, self.arch,
                                            genome, factors), full=full)
+
+    def mapping_digest(self, genome: Genome,
+                       factors: Mapping[str, int]) -> str:
+        """Stable hex digest of one genome mapping's memo signature —
+        the run ledger's champion identity."""
+        return digest(mapping_signature(self._base, genome, factors))
 
     def genome_cost(self, genome: Genome,
                     factors: Mapping[str, int]) -> Cost:
@@ -332,14 +372,23 @@ class EvaluationEngine:
             return [self.tune_genome(g, s, samples)
                     for g, s in zip(genomes, seeds)]
         try:
-            futures = [pool.submit(_worker_tune, genome, seed, samples)
+            collect = events.is_enabled()
+            futures = [pool.submit(_worker_tune, genome, seed, samples,
+                                   collect)
                        for genome, seed in zip(genomes, seeds)]
             out: List[Tuple[Cost, Dict[str, int]]] = []
             for future in futures:
-                cost, factors, delta, elapsed = future.result()
+                (cost, factors, delta, evict_kinds, elapsed,
+                 records) = future.result()
+                if records:
+                    # Replaying in submission order makes the parent's
+                    # event stream deterministic for any worker count.
+                    events.record(records)
                 self.stats.merge(delta)
                 for name, n in delta.items():
                     obs.count(f"engine.{name}", n)
+                for kind, n in evict_kinds.items():
+                    obs.count(f"engine.subtree_evictions.{kind}", n)
                 # Worker-side ``genome_cost`` calls count one cache
                 # lookup each; replay them into the mapper's counter,
                 # which the workers' private obs registries never ship.
@@ -412,15 +461,35 @@ def _worker_init(workload: Workload, arch: Architecture,
     _WORKER_ENGINE = EvaluationEngine(workload, arch, workers=1, **config)
 
 
-def _worker_tune(genome: Genome, seed: int, samples: int):
+def _worker_tune(genome: Genome, seed: int, samples: int,
+                 collect_events: bool = False):
     import time
 
     engine = _WORKER_ENGINE
     assert engine is not None, "worker pool initializer did not run"
+    sink: Optional[events.RingSink] = None
+    if collect_events:
+        # Record this task's events into an unbounded ring and ship them
+        # back as picklable records; the parent replays them in
+        # submission order so the merged stream is deterministic.
+        sink = events.RingSink(capacity=None)
+        events.enable(sinks=[sink])
     before = engine.stats.to_dict()
+    before_kinds = (engine.subtree_cache.evictions_by_kind()
+                    if engine.subtree_cache is not None else {})
     start = time.perf_counter()
-    cost, factors = engine.tune_genome(genome, seed, samples)
+    try:
+        cost, factors = engine.tune_genome(genome, seed, samples)
+    finally:
+        if sink is not None:
+            events.disable()
     elapsed = time.perf_counter() - start
     after = engine.stats.to_dict()
     delta = {name: after[name] - before[name] for name in after}
-    return cost, factors, delta, elapsed
+    after_kinds = (engine.subtree_cache.evictions_by_kind()
+                   if engine.subtree_cache is not None else {})
+    evict_kinds = {kind: n - before_kinds.get(kind, 0)
+                   for kind, n in after_kinds.items()
+                   if n > before_kinds.get(kind, 0)}
+    records = events.as_records(sink.events) if sink is not None else None
+    return cost, factors, delta, evict_kinds, elapsed, records

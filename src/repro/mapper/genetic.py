@@ -31,6 +31,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from .. import obs
 from ..arch import Architecture
 from ..ir import Workload
+from ..obs import events
 from .cost import INFEASIBLE, Cost
 from .encoding import Genome, build_genome_tree, genome_factor_space
 from .mcts import MCTSTuner
@@ -132,6 +133,16 @@ class GeneticExplorer:
                 self.stats.append(GenerationStats(
                     generation=gen, best_cost=scored[0][0], mean_cost=mean,
                     best_genome=scored[0][1], best_factors=scored[0][2]))
+                if events.is_enabled():
+                    events.emit(
+                        "ga.generation", generation=gen,
+                        best_cost=events.jsonable_cost(scored[0][0]),
+                        mean_cost=events.jsonable_cost(mean),
+                        evaluated=len(pending), reused=reused)
+                    events.emit(
+                        "search.progress", phase="ga", step=gen + 1,
+                        total=generations,
+                        best_cost=events.jsonable_cost(self.best[0]))
                 parents = [g for _, g, _ in scored[:self.survivors]]
                 if not self.reuse_elites:
                     # Old behaviour: survivors are re-tuned next generation.

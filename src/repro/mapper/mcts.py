@@ -18,6 +18,7 @@ import random
 from typing import Callable, Dict, List, Optional, Tuple
 
 from .. import obs
+from ..obs import events
 from .factors import FactorSpace
 
 Cost = float
@@ -85,15 +86,19 @@ class MCTSTuner:
             self.best_point, self.best_cost = point, cost
             self.history = [cost] * max(1, samples)
             return point, cost
-        for _ in range(samples):
+        for i in range(samples):
             with obs.span("mcts.sample", "mapper"):
-                self._sample_once()
+                cost = self._sample_once()
             obs.count("mcts.samples")
             self.history.append(self.best_cost)
+            if events.is_enabled():
+                events.emit("mcts.sample", sample=i,
+                            cost=events.jsonable_cost(cost),
+                            best_cost=events.jsonable_cost(self.best_cost))
         return self.best_point, self.best_cost
 
     # ------------------------------------------------------------------
-    def _sample_once(self) -> None:
+    def _sample_once(self) -> Cost:
         path: List[_Node] = [self.root]
         indices: List[int] = []
         node = self.root
@@ -124,6 +129,7 @@ class MCTSTuner:
             visited.visits += 1
             visited.total_reward += reward
             visited.best_cost = min(visited.best_cost, cost)
+        return cost
 
     def _evaluate(self, indices: Tuple[int, ...]) -> Cost:
         cached = self._cache.get(indices)

@@ -23,9 +23,16 @@ from __future__ import annotations
 
 from typing import Optional
 
-from . import metrics, trace
-from .metrics import (Counter, Gauge, Histogram, MetricsRegistry, count,
-                      gauge, observe)
+# NOTE: ``explain`` is deliberately NOT imported here — it depends on
+# the evaluation engine, which imports this package (cycle); the CLI
+# imports it lazily.
+from . import events, export, ledger, metrics, trace
+from .events import (CallbackSink, Event, EventBus, JsonlSink, RingSink,
+                     jsonable_cost)
+from .export import chrome_trace, dump_chrome
+from .ledger import RunLedger, build_manifest, diff_manifests
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      MetricsScope, count, gauge, observe)
 from .metrics import registry as metrics_registry
 from .metrics import snapshot as metrics_snapshot
 from .report import (SpanStat, aggregate_spans, engine_effectiveness,
@@ -60,10 +67,14 @@ def active_tracer() -> Optional[Tracer]:
 
 __all__ = [
     "Tracer", "SpanRecord", "NOOP_SPAN", "span", "traced", "load_jsonl",
-    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry", "MetricsScope",
     "count", "gauge", "observe", "metrics_registry", "metrics_snapshot",
     "SpanStat", "aggregate_spans", "render_profile", "profile_dict",
     "engine_effectiveness", "incremental_effectiveness",
     "summarize_trace_file",
     "enable", "disable", "is_enabled", "active_tracer",
+    "events", "export", "ledger",
+    "Event", "EventBus", "JsonlSink", "RingSink", "CallbackSink",
+    "jsonable_cost", "chrome_trace", "dump_chrome",
+    "RunLedger", "build_manifest", "diff_manifests",
 ]

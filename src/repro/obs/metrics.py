@@ -85,6 +85,53 @@ class Histogram:
                 "mean": self.mean, "min": self.min, "max": self.max}
 
 
+class MetricsScope:
+    """Delta view of a registry between scope entry and now.
+
+    Counters and histograms are process-global and accumulate across
+    sequential runs in one process; a scope snapshots the registry at
+    entry and :meth:`delta` subtracts that baseline, so profile
+    sections (``engine.*`` rates, mapper counters) can report *per-run*
+    numbers without resetting state other observers may be watching.
+
+    Counter values and histogram count/sum/mean are true deltas;
+    histogram min/max and gauges are reported as-is (extrema cannot be
+    un-merged).  Metrics untouched inside the scope are omitted.
+    """
+
+    def __init__(self, registry: "MetricsRegistry"):
+        self._registry = registry
+        self._baseline: Dict[str, Dict[str, Any]] = {}
+
+    def __enter__(self) -> "MetricsScope":
+        self._baseline = self._registry.snapshot()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def delta(self) -> Dict[str, Dict[str, Any]]:
+        out: Dict[str, Dict[str, Any]] = {}
+        for name, snap in self._registry.snapshot().items():
+            base = self._baseline.get(name)
+            kind = snap.get("kind")
+            if kind == "counter":
+                value = snap["value"] - (base or {}).get("value", 0.0)
+                if value:
+                    out[name] = {"kind": "counter", "value": value}
+            elif kind == "histogram":
+                count = snap["count"] - (base or {}).get("count", 0)
+                if count:
+                    total = snap["sum"] - (base or {}).get("sum", 0.0)
+                    out[name] = {"kind": "histogram", "count": count,
+                                 "sum": total, "mean": total / count,
+                                 "min": snap.get("min"),
+                                 "max": snap.get("max")}
+            elif snap != base:
+                out[name] = dict(snap)
+        return out
+
+
 class MetricsRegistry:
     """Named metrics, created on first touch."""
 
@@ -116,6 +163,10 @@ class MetricsRegistry:
         with self._lock:
             items = sorted(self._metrics.items())
         return {name: metric.snapshot() for name, metric in items}
+
+    def scope(self) -> MetricsScope:
+        """A per-run delta view (see :class:`MetricsScope`)."""
+        return MetricsScope(self)
 
     def reset(self) -> None:
         with self._lock:

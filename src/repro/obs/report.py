@@ -111,15 +111,22 @@ def incremental_effectiveness(metrics: Optional[Mapping[str, Mapping[str,
     hits = value("engine.subtree_hits")
     misses = value("engine.subtree_misses")
     skipped = value("engine.edp_energy_skipped")
+    evictions = value("engine.subtree_evictions")
     lookups = hits + misses
     if lookups == 0 and skipped == 0:
         return None
-    return {
+    out: Dict[str, float] = {
         "subtree_hits": hits,
         "subtree_misses": misses,
         "subtree_hit_rate": hits / lookups if lookups else 0.0,
         "edp_energy_skipped": skipped,
+        "subtree_evictions": evictions,
     }
+    prefix = "engine.subtree_evictions."
+    for name in sorted(metrics or {}):
+        if name.startswith(prefix):
+            out[f"evictions.{name[len(prefix):]}"] = value(name)
+    return out
 
 
 def render_profile(spans: Sequence[SpanRecord],
@@ -205,6 +212,14 @@ def render_profile(spans: Sequence[SpanRecord],
             lines.append(
                 f"{'energy passes skipped (EDP objective)':40s} "
                 f"{inc['edp_energy_skipped']:>12g}")
+        if inc.get("subtree_evictions"):
+            by_kind = ", ".join(
+                f"{key[len('evictions.'):]}={inc[key]:g}"
+                for key in sorted(inc) if key.startswith("evictions."))
+            lines.append(
+                f"{'subtree cache evictions':40s} "
+                f"{inc['subtree_evictions']:>12g}"
+                + (f"  ({by_kind})" if by_kind else ""))
     return "\n".join(lines)
 
 

@@ -8,6 +8,10 @@ Two contracts from docs/PERFORMANCE.md:
 * **Configuration transparency** — memoization and worker pools are pure
   performance knobs: for a fixed seed, ``MapperResult.to_dict()`` is
   byte-identical with the cache on or off and with 1 or 2 workers.
+* **Event-stream determinism** — ``search``-category events are a pure
+  function of the search trajectory: a serial run and a ``--workers 2``
+  run emit identical search-event sequences (worker events are recorded
+  in-process and replayed to the parent in submission order).
 """
 
 import json
@@ -22,6 +26,7 @@ from repro.engine import EvaluationEngine, prescreen
 from repro.mapper import (INFEASIBLE, Genome, TileFlowMapper,
                           build_genome_tree, genome_factor_space,
                           latency_cost)
+from repro.obs import events
 from repro.workloads import self_attention
 
 WL = self_attention(2, 32, 64, expand_softmax=False)
@@ -89,6 +94,46 @@ def test_incremental_does_not_change_search_results(seed):
     assert _explore(seed) == _explore(seed, incremental=False)
     assert (_explore(seed, workers=2)
             == _explore(seed, workers=2, incremental=False))
+
+
+def _explore_with_events(seed, **mapper_kwargs):
+    """(search-event sequence, cache-event kinds, result JSON) of a run."""
+    sink = events.RingSink(capacity=None)
+    events.enable(sinks=[sink])
+    try:
+        payload = _explore(seed, **mapper_kwargs)
+    finally:
+        events.disable()
+    search = [(e.kind, json.dumps(e.payload, sort_keys=True))
+              for e in sink.events if e.category == "search"]
+    cache_kinds = {e.kind for e in sink.events if e.category == "cache"}
+    return search, cache_kinds, payload
+
+
+@pytest.mark.parametrize("seed", [0, 13])
+def test_worker_events_aggregate_deterministically(seed):
+    """Serial and --workers 2 runs emit the same search events.
+
+    The full event *multiset* cannot be compared across worker counts —
+    each worker owns private memo/subtree caches, so ``cache``-category
+    effectiveness legitimately differs — but ``search`` events (GA
+    generations, MCTS samples, pre-screen rejections) must be an
+    identical *sequence*, and the champion byte-identical, because
+    worker-recorded events are replayed to the parent in submission
+    order.
+    """
+    serial_events, serial_cache, serial_result = _explore_with_events(
+        seed, workers=1)
+    parallel_events, parallel_cache, parallel_result = _explore_with_events(
+        seed, workers=2)
+    assert serial_events == parallel_events
+    assert serial_result == parallel_result
+    # Both modes still surface cache telemetry (content may differ).
+    assert "engine.memo" in serial_cache
+    assert "engine.memo" in parallel_cache
+    # The search stream is non-trivial: every generation reported.
+    gens = [kind for kind, _ in serial_events if kind == "ga.generation"]
+    assert len(gens) == 2
 
 
 @given(st.integers(0, 2 ** 31), st.data())

@@ -1,0 +1,188 @@
+"""Unit tests for the structured event bus (repro.obs.events)."""
+
+import io
+import json
+
+import pytest
+
+from repro import arch, obs, workloads
+from repro.obs import events
+from repro.obs import metrics as obs_metrics
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    yield
+    events.disable()
+    obs.disable()
+    obs_metrics.registry().reset()
+
+
+class TestBus:
+    def test_disabled_emit_is_noop(self):
+        assert not events.is_enabled()
+        assert events.emit("run.start", command="x", label="") is None
+
+    def test_emit_assigns_sequential_seq(self):
+        sink = events.RingSink()
+        events.enable(sinks=[sink])
+        events.emit("run.start", command="a", label="")
+        events.emit("run.end", command="a", outcome="ok", wall_s=0.1)
+        assert [e.seq for e in sink.events] == [0, 1]
+        assert [e.kind for e in sink.events] == ["run.start", "run.end"]
+        assert sink.events[0].category == "run"
+
+    def test_unknown_kind_rejected(self):
+        bus = events.EventBus()
+        with pytest.raises(ValueError, match="unknown event kind"):
+            bus.emit("no.such.kind", x=1)
+
+    def test_payload_field_named_kind(self):
+        # engine.subtree's payload has a field literally named "kind".
+        bus = events.EventBus([sink := events.RingSink()])
+        bus.emit("engine.subtree", kind="slices", hits=1, misses=2,
+                 evictions=0)
+        assert sink.events[0].payload["kind"] == "slices"
+
+    def test_replay_preserves_time_restamps_seq(self):
+        worker = events.RingSink(capacity=None)
+        bus = events.EventBus([worker])
+        bus.emit("mcts.sample", _t=123.0, sample=0, cost=1.0, best_cost=1.0)
+        records = events.as_records(worker.events)
+
+        parent_sink = events.RingSink()
+        parent = events.EventBus([parent_sink])
+        parent.emit("run.start", command="s", label="")
+        assert parent.replay(records) == 1
+        replayed = parent_sink.events[-1]
+        assert replayed.t == 123.0 and replayed.seq == 1
+        assert replayed.kind == "mcts.sample"
+
+    def test_ring_sink_bounds_and_counts_drops(self):
+        sink = events.RingSink(capacity=2)
+        bus = events.EventBus([sink])
+        for i in range(5):
+            bus.emit("search.progress", phase="ga", step=i, total=5,
+                     best_cost=None)
+        assert len(sink.events) == 2
+        assert sink.dropped == 3
+        assert [e.payload["step"] for e in sink.events] == [3, 4]
+
+    def test_callback_sink_survives_broken_subscriber(self):
+        calls = []
+
+        def broken(event):
+            calls.append(event.kind)
+            raise RuntimeError("subscriber bug")
+
+        bus = events.EventBus([events.CallbackSink(broken, max_errors=2)])
+        for _ in range(4):
+            bus.emit("run.start", command="x", label="")
+        assert calls == ["run.start", "run.start"]  # muted after 2 strikes
+
+    def test_jsonl_sink_writes_valid_lines(self):
+        buf = io.StringIO()
+        bus = events.EventBus([events.JsonlSink(buf)])
+        bus.emit("ga.generation", generation=0, best_cost=2.0,
+                 mean_cost=None, evaluated=4, reused=0)
+        bus.close()
+        (line,) = buf.getvalue().splitlines()
+        obj = json.loads(line)
+        assert events.validate_record(obj) == []
+        assert obj["payload"]["mean_cost"] is None
+
+
+class TestCostMapping:
+    def test_jsonable_cost(self):
+        assert events.jsonable_cost(float("inf")) is None
+        assert events.jsonable_cost(float("-inf")) is None
+        assert events.jsonable_cost(float("nan")) is None
+        assert events.jsonable_cost(None) is None
+        assert events.jsonable_cost(3) == 3.0
+
+
+class TestSchema:
+    def test_checked_in_schema_matches_registry(self):
+        with open("tests/data/event_schema.json") as fh:
+            checked_in = json.load(fh)
+        assert checked_in == events.event_schema(), (
+            "tests/data/event_schema.json is stale; regenerate with "
+            "`python -m repro.obs.events --print-schema`")
+
+    def test_every_kind_has_known_category(self):
+        for kind, (category, fields) in events.EVENT_TYPES.items():
+            assert category in events.CATEGORIES, kind
+            assert fields, kind
+
+    def test_validate_record_rejects_bad_payloads(self):
+        good = {"type": "event", "seq": 0, "t": 0.0, "kind": "mcts.sample",
+                "cat": "search",
+                "payload": {"sample": 0, "cost": 1.0, "best_cost": 1.0}}
+        assert events.validate_record(good) == []
+        bad_type = dict(good, payload={"sample": "zero", "cost": 1.0,
+                                       "best_cost": 1.0})
+        assert any("sample" in p for p in events.validate_record(bad_type))
+        extra = dict(good, payload=dict(good["payload"], bogus=1))
+        assert any("unexpected" in p for p in events.validate_record(extra))
+        wrong_cat = dict(good, cat="cache")
+        assert any("cat" in p for p in events.validate_record(wrong_cat))
+
+    def test_validate_jsonl_reports_line_numbers(self):
+        buf = io.StringIO('not json\n{"type": "event"}\n')
+        problems = events.validate_jsonl(buf)
+        assert any(p.startswith("line 1:") for p in problems)
+        assert any(p.startswith("line 2:") for p in problems)
+
+
+class TestSearchEmission:
+    def _workload(self):
+        return workloads.self_attention(2, 32, 64, expand_softmax=False)
+
+    def test_search_emits_expected_kinds(self):
+        from repro.mapper import TileFlowMapper
+        sink = events.RingSink(capacity=None)
+        events.enable(sinks=[sink])
+        TileFlowMapper(self._workload(), arch.edge(), seed=0).explore(
+            generations=2, population=4, mcts_samples=4)
+        events.disable()
+        kinds = {e.kind for e in sink.events}
+        assert {"ga.generation", "search.progress", "mcts.sample",
+                "engine.memo", "engine.subtree"} <= kinds
+        gens = [e.payload for e in sink.events
+                if e.kind == "ga.generation"]
+        assert [g["generation"] for g in gens] == [0, 1]
+        steps = [e.payload for e in sink.events
+                 if e.kind == "search.progress"]
+        assert all(s["phase"] == "ga" and s["total"] == 2 for s in steps)
+
+    def test_prescreen_reject_carries_reason_codes(self):
+        from repro.engine import EvaluationEngine
+        from repro.mapper.encoding import (Genome, genome_factor_space)
+        wl = self._workload()
+        # A tiny L1 makes the memory-capacity bound fire.
+        tight = arch.edge().with_level("L1", capacity_bytes=64)
+        engine = EvaluationEngine(wl, tight)
+        sink = events.RingSink(capacity=None)
+        events.enable(sinks=[sink])
+        genome = Genome.unfused(wl)
+        space = genome_factor_space(wl, genome)
+        engine.genome_cost(genome, space.default_point())
+        events.disable()
+        rejects = [e for e in sink.events if e.kind == "prescreen.reject"]
+        assert rejects, "expected the tight arch to trigger a rejection"
+        codes = rejects[0].payload["codes"]
+        assert any(c.startswith(("memory.capacity:", "compute."))
+                   for c in codes)
+        # Reason codes are index-parallel to the human-readable strings.
+        assert len(codes) >= 1
+
+    def test_events_do_not_change_search(self):
+        from repro.mapper import TileFlowMapper
+        wl = self._workload()
+        baseline = TileFlowMapper(wl, arch.edge(), seed=0).explore(
+            generations=2, population=4, mcts_samples=4)
+        events.enable(sinks=[events.RingSink(capacity=None)])
+        streamed = TileFlowMapper(wl, arch.edge(), seed=0).explore(
+            generations=2, population=4, mcts_samples=4)
+        events.disable()
+        assert streamed.to_dict() == baseline.to_dict()

@@ -244,6 +244,39 @@ class TestModelInstrumentation:
         noop_s = (time.perf_counter() - t0) / rounds
         assert noop_s < 0.05 * eval_s, (noop_s, eval_s)
 
+    def test_disabled_event_guard_within_noise(self):
+        """Disabled-mode event guards must cost < 5% of one evaluation.
+
+        Every instrumented site checks ``events.is_enabled()`` before
+        building a payload; with no bus installed an evaluation pays
+        only those guard reads.  ~10 guarded sites fire per engine
+        evaluation (memo lookup, pre-screen, per-kind subtree deltas,
+        one MCTS sample), so measure that many guards per round.
+        """
+        from repro.obs import events
+        assert not events.is_enabled()
+        wl = workloads.self_attention(2, 32, 64, expand_softmax=False)
+        spec = arch.edge()
+        tree = attention_dataflow("flat_rgran", wl, spec)
+        model = TileFlowModel(spec)
+        model.evaluate(tree)  # warm caches
+        repeats = 5
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            model.evaluate(tree)
+        eval_s = (time.perf_counter() - t0) / repeats
+
+        guards_per_eval = 10
+        rounds = 2000
+        t0 = time.perf_counter()
+        for _ in range(rounds):
+            for _ in range(guards_per_eval):
+                if events.is_enabled():  # pragma: no cover
+                    events.emit("search.progress", phase="x", step=0,
+                                total=0, best_cost=None)
+        guard_s = (time.perf_counter() - t0) / rounds
+        assert guard_s < 0.05 * eval_s, (guard_s, eval_s)
+
 
 class TestMapperDeterminism:
     def test_tracing_does_not_change_search(self):
