@@ -1,0 +1,186 @@
+#!/usr/bin/env python
+"""Evaluation-service benchmark: warm-cache job latency and throughput.
+
+Boots a real :class:`~repro.serve.EvaluationService` behind its HTTP
+front-end and measures what keeping engines (and the shared subtree
+artifact cache) resident buys:
+
+* **cold vs warm evaluate latency** — the same evaluate job submitted
+  twice; the second runs entirely on the first job's subtree artifacts.
+  Reported as end-to-end job wall time (the service's own measurement,
+  excluding HTTP/queue overhead) plus the subtree hit/miss counters of
+  each job.  The acceptance bar is warm strictly faster with nonzero
+  warm-cache hits (``--min-speedup``, default 1.2).
+* **N-job throughput** — ``--jobs`` evaluate jobs across the registry
+  dataflows through ``--workers`` worker threads, jobs/second.
+* **/stats visibility** — the shared cache's hit total as reported by
+  ``GET /stats`` (must be nonzero after the warm run).
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+
+Emits ``BENCH_serve.json``.  Exits non-zero if the warm job is not
+faster than the cold one by ``--min-speedup`` or records zero
+subtree-cache hits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import threading
+import time
+from typing import Any, Dict, List
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.dataflows import dataflow_names  # noqa: E402
+from repro.serve import (EvaluationService, ServiceClient,  # noqa: E402
+                         make_server)
+from repro.workloads import by_name  # noqa: E402
+
+WORKLOAD = "Bert-S"
+ARCH = "edge"
+DATAFLOW = "layerwise"
+
+
+def boot(workers: int):
+    service = EvaluationService(workers=workers).start()
+    httpd = make_server("127.0.0.1", 0, service)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    client = ServiceClient(f"http://127.0.0.1:{httpd.server_address[1]}")
+    return service, httpd, client
+
+
+def shutdown(service, httpd) -> None:
+    httpd.shutdown()
+    httpd.server_close()
+    service.stop(timeout=10)
+
+
+def run_job(client: ServiceClient, spec: Dict[str, Any]) -> Dict[str, Any]:
+    job = client.submit("evaluate", spec)
+    status = client.result(job["id"], timeout=120, poll_s=0.02)
+    assert status["state"] == "done", status.get("error")
+    return status["result"]
+
+
+def cold_warm(args: argparse.Namespace) -> Dict[str, Any]:
+    """Cold/warm latency of one evaluate job on a fresh service,
+    repeated ``--repeats`` times (fresh service each round; min-time)."""
+    spec = {"workload": WORKLOAD, "arch": ARCH, "dataflow": DATAFLOW}
+    cold_s: List[float] = []
+    warm_s: List[float] = []
+    cold_counters = warm_counters = {}
+    stats_hits = 0
+    for _ in range(args.repeats):
+        service, httpd, client = boot(workers=1)
+        try:
+            cold = run_job(client, spec)
+            warm = run_job(client, spec)
+            cold_s.append(cold["wall_s"])
+            warm_s.append(warm["wall_s"])
+            cold_counters = cold["counters"]
+            warm_counters = warm["counters"]
+            stats_hits = client.stats()["subtree_cache"]["hits"]
+        finally:
+            shutdown(service, httpd)
+    return {
+        "workload": WORKLOAD, "arch": ARCH, "dataflow": DATAFLOW,
+        "repeats": args.repeats,
+        "cold_s": min(cold_s), "warm_s": min(warm_s),
+        "speedup": min(cold_s) / min(warm_s),
+        "cold_median_s": statistics.median(cold_s),
+        "warm_median_s": statistics.median(warm_s),
+        "cold_subtree": {"hits": cold_counters.get("subtree_hits", 0),
+                         "misses": cold_counters.get("subtree_misses", 0)},
+        "warm_subtree": {"hits": warm_counters.get("subtree_hits", 0),
+                         "misses": warm_counters.get("subtree_misses", 0)},
+        "stats_endpoint_hits": stats_hits,
+    }
+
+
+def throughput(args: argparse.Namespace) -> Dict[str, Any]:
+    """Jobs/second for a burst of evaluate jobs over all dataflows."""
+    names = list(dataflow_names(by_name(WORKLOAD)))
+    service, httpd, client = boot(workers=args.workers)
+    try:
+        start = time.perf_counter()
+        ids = [client.submit("evaluate",
+                             {"workload": WORKLOAD, "arch": ARCH,
+                              "dataflow": names[i % len(names)]})["id"]
+               for i in range(args.jobs)]
+        for jid in ids:
+            status = client.result(jid, timeout=300, poll_s=0.02)
+            assert status["state"] == "done", status.get("error")
+        wall = time.perf_counter() - start
+        stats = client.stats()
+    finally:
+        shutdown(service, httpd)
+    return {
+        "jobs": args.jobs, "workers": args.workers,
+        "wall_s": wall, "jobs_per_s": args.jobs / wall,
+        "subtree_hits": stats["subtree_cache"]["hits"],
+        "subtree_hit_rate": (
+            stats["subtree_cache"]["hits"]
+            / max(1, stats["subtree_cache"]["hits"]
+                  + stats["subtree_cache"]["misses"])),
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="cold/warm rounds (min-time reported)")
+    parser.add_argument("--jobs", type=int, default=24,
+                        help="throughput burst size")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="service worker threads for throughput")
+    parser.add_argument("--min-speedup", type=float, default=1.2,
+                        help="required cold/warm job speedup")
+    parser.add_argument("--output", default="BENCH_serve.json")
+    args = parser.parse_args()
+
+    print(f"== cold vs warm evaluate job ({WORKLOAD}/{ARCH}/{DATAFLOW}, "
+          f"{args.repeats} rounds) ==")
+    cw = cold_warm(args)
+    print(f"cold {cw['cold_s'] * 1e3:8.3f}ms  "
+          f"warm {cw['warm_s'] * 1e3:8.3f}ms  "
+          f"speedup {cw['speedup']:.2f}x")
+    print(f"cold subtree hit/miss: {cw['cold_subtree']['hits']}/"
+          f"{cw['cold_subtree']['misses']}   warm: "
+          f"{cw['warm_subtree']['hits']}/{cw['warm_subtree']['misses']}")
+    print(f"GET /stats cache hits: {cw['stats_endpoint_hits']}")
+
+    print(f"\n== throughput ({args.jobs} jobs, {args.workers} workers) ==")
+    tp = throughput(args)
+    print(f"{tp['wall_s']:.2f}s total, {tp['jobs_per_s']:.1f} jobs/s, "
+          f"subtree hit rate {tp['subtree_hit_rate']:.1%}")
+
+    payload = {"cold_warm": cw, "throughput": tp,
+               "min_speedup": args.min_speedup}
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\nwrote {args.output}")
+
+    failures = []
+    if cw["speedup"] < args.min_speedup:
+        failures.append(f"warm speedup {cw['speedup']:.2f}x below the "
+                        f"{args.min_speedup}x floor")
+    if cw["warm_subtree"]["hits"] <= 0:
+        failures.append("warm job recorded no subtree-cache hits")
+    if cw["stats_endpoint_hits"] <= 0:
+        failures.append("GET /stats reports zero cache hits")
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -215,8 +215,9 @@ class AnalysisContext:
 
         The returned :class:`~repro.engine.cache.KindStore` is already
         namespaced to this context's workload/arch/flags; hot loops may
-        probe its ``data`` dict directly (bumping ``hits``/``misses``)
-        instead of paying :meth:`shared_get` dispatch per lookup.
+        probe its ``data`` dict directly (recording outcomes via
+        ``store.hit()``/``store.miss()``) instead of paying
+        :meth:`shared_get` dispatch per lookup.
         """
         if self.artifact_cache is None:
             return None
@@ -233,9 +234,9 @@ class AnalysisContext:
             return None
         value = store.data.get(key)
         if value is None:
-            store.misses += 1
+            store.miss()
             return None
-        store.hits += 1
+        store.hit()
         return value
 
     def shared_put(self, kind: str, key: Any, value: Any) -> None:

@@ -175,7 +175,7 @@ class DataMovementAnalysis:
             entry = None if store is None else store.data.get(key)
             if entry is None:
                 if store is not None:
-                    store.misses += 1
+                    store.miss()
                 fresh = []
                 for node in group.walk():
                     flows, contribs = self._analyze_node(node)
@@ -184,7 +184,7 @@ class DataMovementAnalysis:
                 if store is not None:
                     store.put(key, tuple(fresh))
             else:
-                store.hits += 1
+                store.hit()
                 for node, (fills, updates, contribs) in zip(group.walk(),
                                                             entry):
                     # Cached dicts are shared read-only across runs (all
@@ -395,11 +395,11 @@ class DataMovementAnalysis:
                    self._projected_walk(access, walk.loops))
             moved = store.data.get(key)
             if moved is None:
-                store.misses += 1
+                store.miss()
                 moved = self._recursion_volume(extents, access, walk.loops)
                 store.put(key, moved)
             else:
-                store.hits += 1
+                store.hit()
         else:
             moved = self._recursion_volume(extents, access, walk.loops)
         return moved * walk.multiplier

@@ -36,15 +36,13 @@ from typing import Any, IO, List, Optional
 
 from . import arch as arch_mod
 from . import obs
+from . import workloads as workloads_mod
 from .analysis import TileFlowModel
-from .dataflows import (ATTENTION_DATAFLOWS, CONV_DATAFLOWS,
-                        attention_dataflow, conv_dataflow)
+from .dataflows import dataflow_for, dataflow_names
 from .mapper import TileFlowMapper
 from .obs import events as events_mod
 from .obs import ledger as ledger_mod
 from .tile import render_notation
-from .workloads import (ATTENTION_SHAPES, CONV_CHAIN_SHAPES,
-                        attention_from_shape, conv_chain_from_shape)
 
 
 class OutputWriter:
@@ -73,19 +71,14 @@ class OutputWriter:
 
 
 def _workload(args):
-    if args.workload in ATTENTION_SHAPES:
-        return attention_from_shape(ATTENTION_SHAPES[args.workload])
-    if args.workload in CONV_CHAIN_SHAPES:
-        return conv_chain_from_shape(CONV_CHAIN_SHAPES[args.workload])
-    raise SystemExit(
-        f"unknown workload {args.workload!r}; choose an attention shape "
-        f"{sorted(ATTENTION_SHAPES)} or conv chain {sorted(CONV_CHAIN_SHAPES)}")
+    try:
+        return workloads_mod.by_name(args.workload)
+    except KeyError as exc:
+        raise SystemExit(exc.args[0] if exc.args else str(exc))
 
 
 def _dataflow(workload, name, spec):
-    if "conv1" in {op.name for op in workload.operators}:
-        return conv_dataflow(name, workload, spec)
-    return attention_dataflow(name, workload, spec)
+    return dataflow_for(workload, name, spec)
 
 
 def cmd_evaluate(args) -> int:
@@ -109,9 +102,7 @@ def cmd_compare(args) -> int:
     w = args.writer
     workload = _workload(args)
     spec = arch_mod.by_name(args.arch)
-    names = (CONV_DATAFLOWS if "conv1" in
-             {op.name for op in workload.operators} else
-             ATTENTION_DATAFLOWS)
+    names = dataflow_names(workload)
     model = TileFlowModel(spec)
     base = None
     rows = []
@@ -137,8 +128,7 @@ def cmd_search(args) -> int:
     import time
 
     from .engine import EvaluationEngine
-    from .engine.signature import (arch_fingerprint, digest,
-                                   workload_fingerprint)
+    from .engine.manifest import search_run_manifest
 
     w = args.writer
     workload = _workload(args)
@@ -157,26 +147,11 @@ def cmd_search(args) -> int:
     if args.ledger:
         ledger = ledger_mod.RunLedger(args.ledger)
         run_id = args.run_id or ledger.new_run_id(salt=args.workload)
-        manifest = ledger_mod.build_manifest(
-            run_id=run_id, command="search",
-            workload={"name": workload.name,
-                      "fingerprint": digest(workload_fingerprint(workload))},
-            arch={"name": spec.name,
-                  "fingerprint": digest(arch_fingerprint(spec))},
-            config=dict(engine.config(), generations=args.generations,
-                        population=args.population, samples=args.samples,
-                        workers=args.workers),
-            seeds={"seed": args.seed},
-            champion={
-                "cost": events_mod.jsonable_cost(result.best_cost),
-                "signature": engine.mapping_digest(result.best_genome,
-                                                   result.best_factors),
-                "genome": result.best_genome.describe(workload),
-                "factors": dict(result.best_factors),
-            },
-            counters=engine.stats.to_dict(),
-            wall_s=wall_s,
-            namespace=digest(engine._base))
+        manifest = search_run_manifest(
+            run_id=run_id, engine=engine, workload=workload, arch=spec,
+            result=result, generations=args.generations,
+            population=args.population, samples=args.samples,
+            workers=args.workers, seed=args.seed, wall_s=wall_s)
         path = ledger.record(manifest)
         w.emit(f"run recorded: {run_id} -> {path}")
     w.emit_json(result.to_dict())
@@ -321,13 +296,148 @@ def cmd_explain(args) -> int:
     from .obs import explain as explain_mod  # lazy: imports the engine
 
     w = args.writer
-    workload = _workload(args)
-    spec = arch_mod.by_name(args.arch)
-    tree = _dataflow(workload, args.dataflow, spec)
+    if args.run:
+        # Explain a recorded ledger run (CLI- or service-produced): the
+        # champion tree is rebuilt from the manifest's genome encoding
+        # or dataflow name.
+        try:
+            manifest = ledger_mod.RunLedger(args.root).load(args.run)
+            tree, spec = explain_mod.tree_from_manifest(manifest)
+        except ledger_mod.LedgerError as exc:
+            raise SystemExit(str(exc))
+        w.emit(f"run {args.run}: champion of "
+               f"{(manifest.get('workload') or {}).get('name')} on "
+               f"{(manifest.get('arch') or {}).get('name')}")
+    else:
+        if not (args.workload and args.dataflow):
+            raise SystemExit("explain: give WORKLOAD DATAFLOW, or "
+                             "--run RUN_ID to explain a ledger run")
+        workload = _workload(args)
+        spec = arch_mod.by_name(args.arch)
+        tree = _dataflow(workload, args.dataflow, spec)
     report = explain_mod.explain_tree(tree, spec)
     w.emit(explain_mod.render_explain(report))
     w.emit_json(report)
     return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the long-lived evaluation service (see docs/SERVICE.md)."""
+    import signal
+    import threading
+
+    from .serve import EvaluationService, make_server
+
+    w = args.writer
+    service = EvaluationService(workers=args.workers,
+                                max_queue=args.max_queue,
+                                ledger_root=args.ledger).start()
+    httpd = make_server(args.host, args.port, service,
+                        max_body=args.max_body_kb * 1024)
+    host, port = httpd.server_address[:2]
+    w.emit(f"serving on http://{host}:{port} "
+           f"(workers={args.workers}, max-queue={args.max_queue}, "
+           f"ledger={args.ledger or 'off'})")
+
+    def drain(_signum=None, _frame=None):
+        # First signal: drain gracefully (finish in-flight jobs, flush
+        # the ledger, then stop accepting connections).
+        if service.draining:
+            return
+        service.begin_drain()
+        w.emit("draining: waiting for in-flight jobs "
+               "(submit returns 503 + Retry-After)")
+
+        def finish():
+            service.wait_drained()
+            httpd.shutdown()
+
+        threading.Thread(target=finish, daemon=True).start()
+
+    signal.signal(signal.SIGINT, drain)
+    signal.signal(signal.SIGTERM, drain)
+    try:
+        httpd.serve_forever(poll_interval=0.2)
+    finally:
+        httpd.server_close()
+        service.stop()
+        w.emit("drained; all jobs flushed")
+    return 0
+
+
+def cmd_client(args) -> int:
+    """Submit jobs to / inspect a running evaluation service."""
+    from .serve import ServiceClient, ServiceError
+
+    w = args.writer
+    client = ServiceClient(args.url)
+    if args.verb in ("status", "watch", "result") and not args.job_id:
+        raise SystemExit(f"client {args.verb}: a job id is required")
+    try:
+        if args.verb == "submit":
+            spec = {"workload": args.workload, "arch": args.arch}
+            if args.kind == "evaluate":
+                if not args.dataflow:
+                    raise SystemExit("client submit evaluate: --dataflow "
+                                     "is required")
+                spec["dataflow"] = args.dataflow
+            elif args.kind == "search":
+                spec.update(generations=args.generations,
+                            population=args.population,
+                            samples=args.samples, seed=args.seed)
+            job = client.submit(args.kind, spec)
+            w.emit(f"submitted {job['id']} ({args.kind}, "
+                   f"state {job['state']})")
+            if args.wait:
+                job = client.result(job["id"], timeout=args.timeout)
+                w.emit(f"{job['id']}: {job['state']}")
+            w.emit_json(job)
+            return 0 if job.get("state") in ("queued", "running",
+                                             "done") else 1
+        if args.verb == "status":
+            job = client.status(args.job_id)
+            w.emit(f"{job['id']}: {job['state']} "
+                   f"({job['events']} events, run {job.get('run_id')})")
+            w.emit_json(job)
+            return 0
+        if args.verb == "result":
+            job = client.result(args.job_id, timeout=args.timeout)
+            w.emit(f"{job['id']}: {job['state']}")
+            if job.get("error"):
+                w.emit(f"error: {job['error']}")
+            w.emit_json(job)
+            return 0 if job.get("state") == "done" else 1
+        if args.verb == "watch":
+            # NDJSON passthrough: each event line straight to stdout
+            # (machine-readable even without --json).
+            for event in client.watch(args.job_id):
+                print(json.dumps(event, sort_keys=True))
+            return 0
+        # stats
+        stats = client.stats()
+        jobs = stats.get("jobs", {})
+        cache = stats.get("subtree_cache", {})
+        w.emit(f"status {stats.get('status')} | uptime "
+               f"{stats.get('uptime_s', 0.0):.0f}s | jobs "
+               + " ".join(f"{k}={v}" for k, v in sorted(jobs.items()))
+               + f" | queue {stats.get('queue', {}).get('depth')}/"
+                 f"{stats.get('queue', {}).get('max')}")
+        w.emit(f"subtree cache: {cache.get('hits')} hits / "
+               f"{cache.get('misses')} misses / "
+               f"{cache.get('entries')} entries")
+        for name, engine in sorted(stats.get("engines", {}).items()):
+            w.emit(f"engine {name}: " + " ".join(
+                f"{k}={engine[k]}" for k in ("evaluations", "cache_hits",
+                                             "subtree_hits")
+                if k in engine))
+        w.emit_json(stats)
+        return 0
+    except ServiceError as exc:
+        raise SystemExit(f"service error: {exc}")
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(f"cannot reach {args.url}: {exc}")
+    except TimeoutError as exc:
+        raise SystemExit(str(exc))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -428,10 +538,59 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("explain", parents=[common],
                        help="per-pass timing + artifact provenance of "
                             "one evaluation")
-    p.add_argument("workload", help="shape name (Bert-S, CC1, ...)")
-    p.add_argument("dataflow", help="dataflow template name")
+    p.add_argument("workload", nargs="?", default=None,
+                   help="shape name (Bert-S, CC1, ...); omit with --run")
+    p.add_argument("dataflow", nargs="?", default=None,
+                   help="dataflow template name; omit with --run")
     p.add_argument("--arch", default="edge")
+    p.add_argument("--run", default=None, metavar="RUN_ID",
+                   help="explain a recorded ledger run's champion "
+                        "(CLI- or service-produced) instead of a named "
+                        "dataflow")
+    p.add_argument("--root", default=ledger_mod.DEFAULT_RUNS_ROOT,
+                   help="ledger directory for --run (default: runs/)")
     p.set_defaults(func=cmd_explain)
+
+    p = sub.add_parser("serve", parents=[common],
+                       help="run the long-lived evaluation service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8731)
+    p.add_argument("--workers", type=int, default=2,
+                   help="worker threads executing jobs")
+    p.add_argument("--max-queue", type=int, default=64,
+                   help="pending-job bound (submissions beyond it get "
+                        "HTTP 429)")
+    p.add_argument("--ledger", metavar="DIR",
+                   default=ledger_mod.DEFAULT_RUNS_ROOT,
+                   help="record completed jobs under DIR (default: "
+                        "runs/; empty string disables)")
+    p.add_argument("--max-body-kb", type=int, default=64,
+                   help="request-body cap in KiB (HTTP 413 beyond it)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("client", parents=[common],
+                       help="talk to a running evaluation service")
+    p.add_argument("verb", choices=("submit", "status", "watch",
+                                    "result", "stats"))
+    p.add_argument("--url", default="http://127.0.0.1:8731",
+                   help="service endpoint")
+    p.add_argument("--kind", choices=("evaluate", "search", "sweep"),
+                   default="evaluate", help="job kind for submit")
+    p.add_argument("--workload", default="Bert-S")
+    p.add_argument("--arch", default="edge")
+    p.add_argument("--dataflow", default=None,
+                   help="dataflow name (evaluate jobs)")
+    p.add_argument("--generations", type=int, default=3)
+    p.add_argument("--population", type=int, default=6)
+    p.add_argument("--samples", type=int, default=10)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--wait", action="store_true",
+                   help="submit: block until the job is terminal")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="seconds to wait in result/--wait")
+    p.add_argument("job_id", nargs="?", default=None,
+                   help="job id for status/watch/result")
+    p.set_defaults(func=cmd_client)
     return parser
 
 

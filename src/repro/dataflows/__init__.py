@@ -11,7 +11,26 @@ from .conv_dataflows import (CONV_DATAFLOWS, ConvChainGeometry,
                              conv_layerwise, conv_tileflow, fused_layer,
                              isos)
 
+
+def dataflow_names(workload) -> tuple:
+    """The named dataflows applicable to ``workload`` (by family)."""
+    if "conv1" in {op.name for op in workload.operators}:
+        return tuple(CONV_DATAFLOWS)
+    return tuple(ATTENTION_DATAFLOWS)
+
+
+def dataflow_for(workload, name: str, spec):
+    """Build dataflow ``name`` for ``workload`` on ``spec``, picking the
+    attention or conv-chain family from the workload's operators — one
+    dispatch shared by the CLI, the evaluation service, and ledger
+    manifest resolution."""
+    if "conv1" in {op.name for op in workload.operators}:
+        return conv_dataflow(name, workload, spec)
+    return attention_dataflow(name, workload, spec)
+
+
 __all__ = [
+    "dataflow_for", "dataflow_names",
     "ATTENTION_DATAFLOWS", "attention_dataflow", "attention_factor_space",
     "AttentionGeometry",
     "layerwise", "unipipe", "flat", "flat_hgran", "flat_rgran",

@@ -21,6 +21,7 @@ written), which approximates LRU at a fraction of its per-hit cost.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, Hashable, Optional, Tuple
 
@@ -85,13 +86,21 @@ class KindStore:
     ``data`` is the live entry dict — hot analysis loops bind a store
     once (via :meth:`AnalysisContext.shared_store
     <repro.analysis.context.AnalysisContext.shared_store>`) and probe it
-    with ``store.data.get(key)`` directly, bumping ``hits``/``misses``
-    themselves; :meth:`put` goes through the owner to maintain the
-    cache-wide entry bound.  ``None`` is not a storable value (it is the
-    miss sentinel).
+    with ``store.data.get(key)`` directly, recording outcomes through
+    :meth:`hit` / :meth:`miss`; :meth:`put` goes through the owner to
+    maintain the cache-wide entry bound.  ``None`` is not a storable
+    value (it is the miss sentinel).
+
+    Counter updates are guarded by the store's lock: the evaluation
+    service probes one shared cache from several worker threads at
+    once, and un-guarded ``+=`` read-modify-write cycles would lose
+    increments — ``GET /stats`` and the ``== incremental analysis ==``
+    profile section must stay exact.  The lock is uncontended in
+    single-threaded use and costs well under a microsecond per probe.
     """
 
-    __slots__ = ("data", "kind", "hits", "misses", "evictions", "_owner")
+    __slots__ = ("data", "kind", "hits", "misses", "evictions", "lock",
+                 "_owner")
 
     def __init__(self, owner: "SubtreeArtifactCache", kind: str = ""):
         self.data: Dict[Hashable, Any] = {}
@@ -100,17 +109,27 @@ class KindStore:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.lock = threading.Lock()
         self._owner = owner
+
+    def hit(self, n: int = 1) -> None:
+        with self.lock:
+            self.hits += n
+
+    def miss(self, n: int = 1) -> None:
+        with self.lock:
+            self.misses += n
 
     def put(self, key: Hashable, value: Any) -> None:
         owner = self._owner
         if value is None or owner.maxsize <= 0:
             return
-        if key not in self.data:
-            if owner.total >= owner.maxsize:
-                owner.evict_one(self)
-            owner.total += 1
-        self.data[key] = value
+        with owner.lock:
+            if key not in self.data:
+                if owner.total >= owner.maxsize:
+                    owner._evict_one_locked(self)
+                owner.total += 1
+            self.data[key] = value
 
 
 class SubtreeArtifactCache:
@@ -140,6 +159,12 @@ class SubtreeArtifactCache:
         #: Running eviction total (cheap int; avoids store iteration on
         #: the engine's per-evaluation snapshot/diff path).
         self.eviction_count = 0
+        #: Guards store creation, inserts, and evictions (``total`` /
+        #: ``eviction_count`` / per-store ``evictions`` and ``data``
+        #: membership changes).  Entry *reads* stay lock-free:
+        #: ``dict.get`` is atomic under the GIL and cached values are
+        #: immutable by contract.
+        self.lock = threading.Lock()
         self._stores: Dict[Tuple[str, str], KindStore] = {}
 
     def store(self, namespace: str, kind: str) -> KindStore:
@@ -147,11 +172,19 @@ class SubtreeArtifactCache:
         key = (namespace, kind)
         store = self._stores.get(key)
         if store is None:
-            store = self._stores[key] = KindStore(self, kind)
+            with self.lock:
+                store = self._stores.get(key)
+                if store is None:
+                    store = self._stores[key] = KindStore(self, kind)
         return store
 
     def evict_one(self, preferred: KindStore) -> None:
-        """Drop one entry to make room, oldest-first from ``preferred``.
+        """Drop one entry to make room, oldest-first from ``preferred``."""
+        with self.lock:
+            self._evict_one_locked(preferred)
+
+    def _evict_one_locked(self, preferred: KindStore) -> None:
+        """Eviction body; caller holds :attr:`lock`.
 
         Falls back to the largest store when the preferred one is empty
         (a fresh kind being inserted into a full cache).
@@ -172,23 +205,30 @@ class SubtreeArtifactCache:
 
     @property
     def hits(self) -> int:
-        return sum(s.hits for s in self._stores.values())
+        return sum(s.hits for s in list(self._stores.values()))
 
     @property
     def misses(self) -> int:
-        return sum(s.misses for s in self._stores.values())
+        return sum(s.misses for s in list(self._stores.values()))
 
     @property
     def evictions(self) -> int:
-        return sum(s.evictions for s in self._stores.values())
+        return sum(s.evictions for s in list(self._stores.values()))
 
     def __len__(self) -> int:
         return self.total
 
-    def counts(self) -> Tuple[int, int]:
-        """(hits, misses) — snapshot/diff pairs for per-call attribution."""
+    def counts(self, namespace: Optional[str] = None) -> Tuple[int, int]:
+        """(hits, misses) — snapshot/diff pairs for per-call attribution.
+
+        ``namespace`` restricts the sum to one workload/arch family so
+        an engine sharing this cache with concurrently-running engines
+        (the evaluation service) attributes only its *own* probes.
+        """
         hits = misses = 0
-        for s in self._stores.values():
+        for (ns, _kind), s in list(self._stores.items()):
+            if namespace is not None and ns != namespace:
+                continue
             hits += s.hits
             misses += s.misses
         return hits, misses
@@ -196,16 +236,20 @@ class SubtreeArtifactCache:
     def evictions_by_kind(self) -> Dict[str, int]:
         """Eviction totals attributed per artifact kind (all namespaces)."""
         out: Dict[str, int] = {}
-        for (_ns, kind), s in self._stores.items():
+        for (_ns, kind), s in list(self._stores.items()):
             if s.evictions:
                 out[kind] = out.get(kind, 0) + s.evictions
         return out
 
-    def counts_by_kind(self) -> Dict[str, Tuple[int, int, int]]:
+    def counts_by_kind(self, namespace: Optional[str] = None
+                       ) -> Dict[str, Tuple[int, int, int]]:
         """``kind -> (hits, misses, evictions)`` — per-evaluation event
-        deltas diff two of these snapshots."""
+        deltas diff two of these snapshots (optionally scoped to one
+        namespace, as :meth:`counts`)."""
         out: Dict[str, Tuple[int, int, int]] = {}
-        for (_ns, kind), s in self._stores.items():
+        for (ns, kind), s in list(self._stores.items()):
+            if namespace is not None and ns != namespace:
+                continue
             h, m, e = out.get(kind, (0, 0, 0))
             out[kind] = (h + s.hits, m + s.misses, e + s.evictions)
         return out
@@ -213,7 +257,7 @@ class SubtreeArtifactCache:
     def stats(self) -> Dict[str, Any]:
         by_hits: Dict[str, int] = {}
         by_misses: Dict[str, int] = {}
-        for (_ns, kind), s in self._stores.items():
+        for (_ns, kind), s in list(self._stores.items()):
             by_hits[kind] = by_hits.get(kind, 0) + s.hits
             by_misses[kind] = by_misses.get(kind, 0) + s.misses
         return {"hits": self.hits, "misses": self.misses,
@@ -222,6 +266,7 @@ class SubtreeArtifactCache:
                 "evictions_by_kind": self.evictions_by_kind()}
 
     def clear(self) -> None:
-        for s in self._stores.values():
-            s.data.clear()
-        self.total = 0
+        with self.lock:
+            for s in self._stores.values():
+                s.data.clear()
+            self.total = 0

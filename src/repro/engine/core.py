@@ -46,8 +46,9 @@ from ..tile.tree import AnalysisTree
 from .cache import (DEFAULT_SUBTREE_CACHE_SIZE, LRUCache,
                     SubtreeArtifactCache)
 from .prescreen import prescreen, rejected_result
-from .signature import (arch_fingerprint, digest, mapping_signature,
-                        template_signature, workload_fingerprint)
+from .signature import (arch_fingerprint, cache_namespace, digest,
+                        mapping_signature, template_signature,
+                        workload_fingerprint)
 
 TemplateFn = Callable[..., AnalysisTree]
 
@@ -136,6 +137,13 @@ class EvaluationEngine:
     subtree_cache_size:
         Entry bound of that cache; ``0`` disables it (equivalent to
         ``incremental=False``).
+    subtree_cache:
+        An existing :class:`SubtreeArtifactCache` to use instead of a
+        private one — the evaluation service shares one store across
+        every engine it owns so artifacts discovered by one job warm
+        every later job.  Entries are namespaced by workload/arch/flag
+        fingerprints, so sharing never mixes artifact families; this
+        engine's hit/miss attribution is scoped to its own namespace.
     """
 
     def __init__(self, workload: Workload, arch: Architecture, *,
@@ -145,7 +153,8 @@ class EvaluationEngine:
                  model_eviction: bool = True,
                  model_rmw: bool = True, objective: str = "latency",
                  incremental: bool = True,
-                 subtree_cache_size: int = DEFAULT_SUBTREE_CACHE_SIZE):
+                 subtree_cache_size: int = DEFAULT_SUBTREE_CACHE_SIZE,
+                 subtree_cache: Optional[SubtreeArtifactCache] = None):
         if objective not in _OBJECTIVES:
             raise ValueError(f"unknown objective {objective!r}; choose from "
                              f"{sorted(_OBJECTIVES)}")
@@ -166,12 +175,20 @@ class EvaluationEngine:
         self._incremental = incremental
         self._subtree_cache_size = subtree_cache_size
         #: Persistent cross-evaluation subtree artifact store (None when
-        #: incremental evaluation is off).
-        self.subtree_cache: Optional[SubtreeArtifactCache] = (
-            SubtreeArtifactCache(subtree_cache_size)
-            if incremental and subtree_cache_size > 0 else None)
+        #: incremental evaluation is off).  May be shared across engines
+        #: (the service passes one store to every engine it builds).
+        if subtree_cache is not None and incremental:
+            self.subtree_cache: Optional[SubtreeArtifactCache] = subtree_cache
+        else:
+            self.subtree_cache = (
+                SubtreeArtifactCache(subtree_cache_size)
+                if incremental and subtree_cache_size > 0 else None)
         self._base = (workload_fingerprint(workload), arch_fingerprint(arch),
                       model_eviction, model_rmw)
+        #: This engine's slice of a (possibly shared) subtree cache —
+        #: the same namespace its analysis contexts bind stores under.
+        self._subtree_ns = cache_namespace(workload, arch, model_eviction,
+                                           model_rmw)
         self._cost_fn = _OBJECTIVES[objective]
         self._templates: Dict[int, Tuple[str, TemplateFn]] = {}
         self._pool = None
@@ -203,23 +220,25 @@ class EvaluationEngine:
 
     # -- memoized evaluation ---------------------------------------------
     def _evaluate_key(self, key, tree_of: Callable[[], AnalysisTree],
-                      full: bool = False) -> EvaluationResult:
+                      full: bool = False,
+                      memo: bool = True) -> EvaluationResult:
         # Event payloads (signature digests, per-kind snapshots) are only
         # built when the bus is live — the disabled path pays one module
         # read per evaluation.
         emitting = events.is_enabled()
         key_digest = digest(key) if emitting else ""
-        cached = self._cache.get(key)
-        if cached is not None and not (full and cached.partial):
-            self._bump("cache_hits")
+        if memo:
+            cached = self._cache.get(key)
+            if cached is not None and not (full and cached.partial):
+                self._bump("cache_hits")
+                if emitting:
+                    events.emit("engine.memo", outcome="hit",
+                                mapping=key_digest, full=bool(full))
+                return cached
+            self._bump("cache_misses")
             if emitting:
-                events.emit("engine.memo", outcome="hit",
+                events.emit("engine.memo", outcome="miss",
                             mapping=key_digest, full=bool(full))
-            return cached
-        self._bump("cache_misses")
-        if emitting:
-            events.emit("engine.memo", outcome="miss",
-                        mapping=key_digest, full=bool(full))
         tree = tree_of()
         # One context serves the screen and the evaluation: the screen's
         # validation and slice geometry are reused when the pipeline
@@ -228,9 +247,10 @@ class EvaluationEngine:
         # subtrees shared with previously analysed candidates are served
         # instead of recomputed.
         subtree = self.subtree_cache
-        before = subtree.counts() if subtree is not None else (0, 0)
+        ns = self._subtree_ns
+        before = subtree.counts(ns) if subtree is not None else (0, 0)
         before_ev = subtree.eviction_count if subtree is not None else 0
-        before_kinds = (subtree.counts_by_kind()
+        before_kinds = (subtree.counts_by_kind(ns)
                         if emitting and subtree is not None else None)
         ctx = self.model.context(tree, artifact_cache=subtree)
         result: Optional[EvaluationResult] = None
@@ -276,7 +296,7 @@ class EvaluationEngine:
                             and "energy" not in result.completed_passes):
                         self._bump("edp_energy_skipped")
         if subtree is not None:
-            hits, misses = subtree.counts()
+            hits, misses = subtree.counts(ns)
             if hits > before[0]:
                 self._bump("subtree_hits", hits - before[0])
             if misses > before[1]:
@@ -285,7 +305,7 @@ class EvaluationEngine:
                 self._bump("subtree_evictions",
                            subtree.eviction_count - before_ev)
             if before_kinds is not None:
-                after_kinds = subtree.counts_by_kind()
+                after_kinds = subtree.counts_by_kind(ns)
                 for kind in sorted(after_kinds):
                     h, m, e = after_kinds[kind]
                     bh, bm, be = before_kinds.get(kind, (0, 0, 0))
@@ -293,7 +313,8 @@ class EvaluationEngine:
                         events.emit("engine.subtree", kind=kind,
                                     hits=h - bh, misses=m - bm,
                                     evictions=e - be)
-        self._cache.put(key, result)
+        if memo:
+            self._cache.put(key, result)
         return result
 
     def evaluate_genome(self, genome: Genome,
@@ -344,6 +365,29 @@ class EvaluationEngine:
         return self._evaluate_key(
             key, lambda: template(self.workload, self.arch, dict(factors)),
             full=full)
+
+    # -- pre-built trees -------------------------------------------------
+    def evaluate_tree(self, tree: AnalysisTree,
+                      full: bool = True) -> EvaluationResult:
+        """One full evaluation of a pre-built tree through the
+        incremental layer, bypassing the whole-mapping memo.
+
+        This is the evaluation service's ``evaluate``/``sweep`` job
+        path: every job pays for a real pipeline run (so repeated jobs
+        measure true evaluation latency), while subtree artifacts flow
+        through the shared :class:`SubtreeArtifactCache` — a repeated
+        job is served almost entirely from warm artifacts.  Subtree
+        hit/miss counters and ``engine.subtree`` events are maintained
+        exactly as on the memoized paths.
+        """
+        key = (self._base, "tree", tree.name)
+        return self._evaluate_key(key, lambda: tree, full=full, memo=False)
+
+    @property
+    def namespace_digest(self) -> str:
+        """Hex digest of this engine's cache namespace (workload + arch
+        + model flags) — the run ledger's ``namespace`` field."""
+        return digest(self._base)
 
     # -- per-genome MCTS tuning ------------------------------------------
     def tune_genome(self, genome: Genome, seed: int,

@@ -128,6 +128,25 @@ class Genome:
                 bindings[i] = rng.choice(EDGE_BINDINGS)
         return Genome(tuple(edges), tuple(bindings))
 
+    # ------------------------------------------------------------------
+    def encode(self) -> Dict[str, list]:
+        """JSON-safe encoding — ledger manifests carry this so a
+        recorded champion can be rebuilt into a tree later
+        (``repro explain --run``)."""
+        return {"fuse_edges": [bool(e) for e in self.fuse_edges],
+                "bindings": [b.value for b in self.bindings]}
+
+    @staticmethod
+    def from_encoding(data: Mapping[str, Sequence]) -> "Genome":
+        """Inverse of :meth:`encode`; raises :class:`MappingError` on a
+        malformed payload."""
+        try:
+            return Genome(
+                fuse_edges=tuple(bool(e) for e in data["fuse_edges"]),
+                bindings=tuple(Binding(b) for b in data["bindings"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise MappingError(f"bad genome encoding {data!r}: {exc}")
+
     def describe(self, workload: Workload) -> str:
         parts = []
         for group_idx, group in enumerate(self.groups(workload)):

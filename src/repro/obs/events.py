@@ -235,31 +235,53 @@ class EventBus:
 
 # ---------------------------------------------------------------------------
 # Module-level enable/disable + the zero-cost emit guard.
+#
+# Two installation scopes: the process-global bus (the CLI's ``--events``
+# path) and a per-thread bus (``local=True``) that takes precedence in
+# the installing thread only.  The evaluation service runs concurrent
+# jobs on worker threads, each with its own local bus, so job event
+# streams never interleave; code emitting events is oblivious to the
+# distinction.
 
 _bus: Optional[EventBus] = None
+_local = threading.local()
 
 
 def enable(bus: Optional[EventBus] = None,
-           sinks: Sequence[Sink] = ()) -> EventBus:
-    """Install ``bus`` (or a fresh one over ``sinks``) as the active bus."""
-    global _bus
-    _bus = bus if bus is not None else EventBus(sinks)
-    return _bus
+           sinks: Sequence[Sink] = (), *, local: bool = False) -> EventBus:
+    """Install ``bus`` (or a fresh one over ``sinks``) as the active bus.
+
+    ``local=True`` scopes the installation to the calling thread; a
+    thread-local bus shadows the global one for that thread.
+    """
+    installed = bus if bus is not None else EventBus(sinks)
+    if local:
+        _local.bus = installed
+    else:
+        global _bus
+        _bus = installed
+    return installed
 
 
-def disable() -> Optional[EventBus]:
-    """Remove the active bus (without closing it); returns it."""
+def disable(*, local: bool = False) -> Optional[EventBus]:
+    """Remove the active (global or thread-local) bus; returns it."""
+    if local:
+        bus = getattr(_local, "bus", None)
+        _local.bus = None
+        return bus
     global _bus
     bus, _bus = _bus, None
     return bus
 
 
 def active() -> Optional[EventBus]:
-    return _bus
+    bus = getattr(_local, "bus", None)
+    return bus if bus is not None else _bus
 
 
 def is_enabled() -> bool:
-    return _bus is not None
+    return (_bus is not None
+            or getattr(_local, "bus", None) is not None)
 
 
 def emit(_kind: str, **payload: Any) -> Optional[Event]:
@@ -268,7 +290,7 @@ def emit(_kind: str, **payload: Any) -> Optional[Event]:
     Hot paths should guard with ``if events.is_enabled():`` *before*
     building the payload so disabled-mode cost stays at one call+branch.
     """
-    bus = _bus
+    bus = active()
     if bus is None:
         return None
     return bus.emit(_kind, **payload)
@@ -276,7 +298,7 @@ def emit(_kind: str, **payload: Any) -> Optional[Event]:
 
 def record(records: Iterable[Tuple[str, Dict[str, Any], float]]) -> int:
     """Replay worker-recorded events into the active bus (0 if disabled)."""
-    bus = _bus
+    bus = active()
     if bus is None:
         return 0
     return bus.replay(records)

@@ -147,6 +147,63 @@ def explain_tree(tree: AnalysisTree, arch: Architecture, *,
     }
 
 
+def tree_from_manifest(manifest: Dict[str, Any]):
+    """Rebuild a ledger run's champion tree: ``(tree, arch)``.
+
+    Works on both manifest flavours the CLI and the evaluation service
+    record: ``search`` manifests carry the champion's JSON genome
+    ``encoding`` plus its tiling ``factors``; ``evaluate`` manifests
+    carry the ``dataflow`` name.  Workload/arch come from the registry
+    by name, cross-checked against the manifest's fingerprints so a
+    drifted registry (different shapes than when the run was recorded)
+    fails loudly instead of explaining the wrong mapping.
+    """
+    from .. import arch as arch_mod
+    from .. import workloads as workloads_mod
+    from ..dataflows import dataflow_for
+    from ..engine.signature import (arch_fingerprint, digest,
+                                    workload_fingerprint)
+    from ..mapper.encoding import Genome, build_genome_tree
+    from .ledger import LedgerError
+
+    workload_info = dict(manifest.get("workload") or {})
+    arch_info = dict(manifest.get("arch") or {})
+    try:
+        workload = workloads_mod.by_name(str(workload_info.get("name")))
+    except KeyError as exc:
+        raise LedgerError(f"manifest workload not in the registry: "
+                          f"{exc.args[0] if exc.args else exc}")
+    try:
+        arch = arch_mod.by_name(str(arch_info.get("name")))
+    except KeyError as exc:
+        raise LedgerError(f"manifest arch not in the registry: "
+                          f"{exc.args[0] if exc.args else exc}")
+    for label, info, fp in (
+            ("workload", workload_info,
+             digest(workload_fingerprint(workload))),
+            ("arch", arch_info, digest(arch_fingerprint(arch)))):
+        recorded = info.get("fingerprint")
+        if recorded is not None and recorded != fp:
+            raise LedgerError(
+                f"{label} {info.get('name')!r} has fingerprint {fp} in "
+                f"this build but {recorded} in the manifest; the "
+                f"registry shape has changed since the run was recorded")
+
+    champion = dict(manifest.get("champion") or {})
+    if champion.get("encoding") is not None:
+        genome = Genome.from_encoding(champion["encoding"])
+        factors = {str(k): int(v)
+                   for k, v in dict(champion.get("factors") or {}).items()}
+        return build_genome_tree(workload, arch, genome, factors), arch
+    if champion.get("dataflow"):
+        return dataflow_for(workload, str(champion["dataflow"]),
+                            arch), arch
+    raise LedgerError(
+        f"run {manifest.get('run_id')!r} has no explainable champion: "
+        f"the manifest carries neither a genome encoding nor a dataflow "
+        f"name (recorded by an older build?)")
+
+
 def render_explain(report: Dict[str, Any]) -> str:
     """Human-readable rendering of :func:`explain_tree` output."""
     lines: List[str] = [

@@ -1,0 +1,22 @@
+"""Evaluation-as-a-service: a long-lived mapper/evaluation server.
+
+``repro serve`` keeps :class:`~repro.engine.EvaluationEngine` instances
+(and their shared subtree artifact cache) resident across HTTP-submitted
+``evaluate`` / ``search`` / ``sweep`` jobs, streams per-job progress as
+NDJSON off the structured event bus, and persists completed jobs to the
+run ledger.  See docs/SERVICE.md for the API reference.
+"""
+
+from .client import ServiceClient, ServiceError
+from .http import (DEFAULT_MAX_BODY, ServiceHTTPServer, make_server)
+from .jobs import (JOB_KINDS, STATES, TERMINAL_STATES, InvalidTransition,
+                   Job, JobQueue, QueueClosed, QueueFull, UnknownJob)
+from .service import EvaluationService, SpecError
+
+__all__ = [
+    "EvaluationService", "SpecError",
+    "Job", "JobQueue", "JOB_KINDS", "STATES", "TERMINAL_STATES",
+    "QueueFull", "QueueClosed", "UnknownJob", "InvalidTransition",
+    "ServiceHTTPServer", "make_server", "DEFAULT_MAX_BODY",
+    "ServiceClient", "ServiceError",
+]

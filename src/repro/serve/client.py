@@ -1,0 +1,123 @@
+"""Thin urllib client for the evaluation service.
+
+:class:`ServiceClient` wraps the HTTP API in plain method calls —
+``repro client submit|status|watch|result|stats`` is built on it, and
+tests/benchmarks drive servers through it.  Stdlib only (urllib); error
+responses surface as :class:`ServiceError` carrying the HTTP status and
+the server's JSON ``error`` message.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, Optional
+
+from .jobs import TERMINAL_STATES
+
+
+class ServiceError(Exception):
+    """An HTTP error response from the service."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """One evaluation-service endpoint (``http://host:port``)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport -------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None,
+                 timeout: Optional[float] = None) -> Dict[str, Any]:
+        data = (json.dumps(body).encode()
+                if body is not None else None)
+        req = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"}
+            if data is not None else {})
+        try:
+            with urllib.request.urlopen(
+                    req, timeout=self.timeout
+                    if timeout is None else timeout) as resp:
+                return json.loads(resp.read().decode())
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(exc.code, self._error_message(exc))
+
+    @staticmethod
+    def _error_message(exc: urllib.error.HTTPError) -> str:
+        try:
+            return str(json.loads(exc.read().decode()).get("error", ""))
+        except Exception:  # noqa: BLE001 - non-JSON error body
+            return exc.reason or "request failed"
+
+    # -- API -------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/stats")
+
+    def jobs(self) -> Dict[str, Any]:
+        return self._request("GET", "/jobs")
+
+    def submit(self, kind: str, spec: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit a job; returns its summary (with the assigned id)."""
+        return self._request("POST", "/jobs",
+                             {"kind": kind, "spec": spec})
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/jobs/{job_id}")
+
+    def drain(self) -> Dict[str, Any]:
+        return self._request("POST", "/admin/drain", {})
+
+    def result(self, job_id: str, timeout: float = 120.0,
+               poll_s: float = 0.2) -> Dict[str, Any]:
+        """Block until the job is terminal; returns its full status.
+
+        Raises :class:`TimeoutError` if the job is still live after
+        ``timeout`` seconds and :class:`ServiceError` on HTTP errors.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status.get("state") in TERMINAL_STATES:
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status.get('state')!r} after "
+                    f"{timeout}s")
+            time.sleep(poll_s)
+
+    def watch(self, job_id: str, since: int = 0,
+              follow: bool = True) -> Iterator[Dict[str, Any]]:
+        """Yield the job's events as decoded dicts.
+
+        With ``follow`` (default) the stream tracks the job live and
+        ends when the job reaches a terminal state (the server closes
+        the connection); ``follow=False`` returns only what is already
+        buffered.
+        """
+        url = (f"{self.base_url}/jobs/{job_id}/events"
+               f"?since={since}&follow={'1' if follow else '0'}")
+        req = urllib.request.Request(url)
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                for line in resp:
+                    line = line.strip()
+                    if line:
+                        yield json.loads(line.decode())
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(exc.code, self._error_message(exc))

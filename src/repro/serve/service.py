@@ -1,0 +1,401 @@
+"""The evaluation service: persistent engines behind a job queue.
+
+:class:`EvaluationService` is the long-lived core ``repro serve``
+exposes over HTTP: a pool of worker threads executes ``evaluate`` /
+``search`` / ``sweep`` jobs against the registry workloads and
+architectures, all on *persistent* :class:`~repro.engine.EvaluationEngine`
+instances — one per (workload, arch) pair — that share a single
+:class:`~repro.engine.cache.SubtreeArtifactCache`.  Artifacts one job
+discovers (slice geometry, data-movement flows, subtree latencies) stay
+resident and warm every later job touching the same subtrees; the
+cache's namespacing by workload/arch/model-flag fingerprints keeps
+artifact families apart, and each engine's hit/miss attribution is
+scoped to its own namespace, so per-job counter deltas are exact even
+while jobs on *different* engines run concurrently.
+
+Each job runs with a **thread-local event bus** (a
+:class:`~repro.obs.events.CallbackSink` appending to the job's buffer),
+so concurrent jobs produce isolated, in-order event streams framed by
+``run.start``/``run.end`` — the same stream shape the CLI's ``--events``
+flag writes, streamed live by ``GET /jobs/<id>/events``.
+
+Completed jobs are persisted to the run ledger
+(``runs/<id>/manifest.json``) through the same manifest builders the
+CLI uses, so ``repro runs list|show|diff`` and ``repro explain --run``
+consume service output unchanged.
+
+Lifecycle: :meth:`begin_drain` stops admissions (the HTTP layer then
+answers 503 + ``Retry-After``), in-flight jobs run to completion,
+:meth:`wait_drained` blocks until the queue is empty, and :meth:`stop`
+joins the workers and shuts the engines down.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import arch as arch_mod
+from .. import workloads as workloads_mod
+from ..dataflows import dataflow_for, dataflow_names
+from ..engine import EvaluationEngine
+from ..engine.cache import (DEFAULT_SUBTREE_CACHE_SIZE,
+                            SubtreeArtifactCache)
+from ..engine.manifest import evaluate_run_manifest, search_run_manifest
+from ..errors import TileFlowError
+from ..mapper import TileFlowMapper
+from ..obs import events as events_mod
+from ..obs import ledger as ledger_mod
+from .jobs import Job, JobQueue
+
+#: Per-kind hard bounds on search effort a single HTTP job may request
+#: (the service is long-lived and shared; a runaway spec must not pin a
+#: worker for hours).
+MAX_GENERATIONS = 64
+MAX_POPULATION = 64
+MAX_SAMPLES = 2000
+
+
+class SpecError(ValueError):
+    """A job spec that cannot be executed (HTTP 400 at the API layer)."""
+
+
+def _positive(spec: Dict[str, Any], key: str, default: int,
+              bound: int) -> int:
+    try:
+        value = int(spec.get(key, default))
+    except (TypeError, ValueError):
+        raise SpecError(f"spec field {key!r} must be an integer")
+    if not 1 <= value <= bound:
+        raise SpecError(f"spec field {key!r} must be in [1, {bound}]")
+    return value
+
+
+class EvaluationService:
+    """Job queue + worker threads around persistent, cache-warm engines.
+
+    Parameters
+    ----------
+    workers:
+        Worker *threads* executing jobs (engines themselves stay at one
+        process each; determinism is per-engine, serialized by a
+        per-engine lock).
+    max_queue:
+        Pending-job bound; submissions beyond it raise ``QueueFull``
+        (HTTP 429).
+    ledger_root:
+        Run-ledger directory for completed jobs; ``None`` disables
+        persistence.
+    subtree_cache_size:
+        Entry bound of the shared cross-job artifact cache.
+    """
+
+    def __init__(self, workers: int = 2, max_queue: int = 64,
+                 ledger_root: Optional[str] = None,
+                 subtree_cache_size: int = DEFAULT_SUBTREE_CACHE_SIZE):
+        self.workers = max(1, int(workers))
+        self.queue = JobQueue(max_queue=max_queue)
+        self.ledger = (ledger_mod.RunLedger(ledger_root)
+                       if ledger_root else None)
+        #: One artifact store shared by every engine the service owns.
+        self.subtree_cache = SubtreeArtifactCache(subtree_cache_size)
+        self.started = time.time()
+        self._lock = threading.Lock()
+        self._engines: Dict[Tuple[str, str], EvaluationEngine] = {}
+        self._engine_locks: Dict[Tuple[str, str], threading.Lock] = {}
+        self._threads: List[threading.Thread] = []
+        self._draining = False
+        self._stopped = False
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "EvaluationService":
+        """Spawn the worker threads (idempotent)."""
+        with self._lock:
+            if self._threads:
+                return self
+            for i in range(self.workers):
+                t = threading.Thread(target=self._worker_loop,
+                                     name=f"serve-worker-{i}", daemon=True)
+                t.start()
+                self._threads.append(t)
+        return self
+
+    def begin_drain(self) -> None:
+        """Refuse new submissions; let queued/running jobs finish."""
+        self._draining = True
+        self.queue.close()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def wait_drained(self, timeout: Optional[float] = None) -> bool:
+        """Block until no job is pending or running (True on success)."""
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        while not self.queue.drained():
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(0.02)
+        return True
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Drain, join the workers, and shut the engines down."""
+        self.begin_drain()
+        for t in self._threads:
+            t.join(timeout)
+        with self._lock:
+            engines = list(self._engines.values())
+        for engine in engines:
+            engine.shutdown()
+        self._stopped = True
+
+    # -- submission ------------------------------------------------------
+    def submit(self, kind: str, spec: Dict[str, Any]) -> Job:
+        """Validate ``spec`` and enqueue it; raises :class:`SpecError`,
+        ``QueueFull``, or ``QueueClosed``."""
+        normalized = self.validate_spec(kind, spec)
+        return self.queue.submit(kind, normalized)
+
+    def validate_spec(self, kind: str,
+                      spec: Dict[str, Any]) -> Dict[str, Any]:
+        """Resolve registry names eagerly so bad requests fail at submit
+        time (HTTP 400), not inside a worker."""
+        if not isinstance(spec, dict):
+            raise SpecError("spec must be a JSON object")
+        out = dict(spec)
+        try:
+            workload = workloads_mod.by_name(str(spec.get("workload", "")))
+        except KeyError as exc:
+            raise SpecError(str(exc.args[0]) if exc.args else str(exc))
+        out["workload"] = str(spec.get("workload"))
+        arch_name = str(spec.get("arch", "edge"))
+        try:
+            arch_mod.by_name(arch_name)
+        except KeyError as exc:
+            raise SpecError(str(exc.args[0]) if exc.args else str(exc))
+        out["arch"] = arch_name
+        known = dataflow_names(workload)
+        if kind == "evaluate":
+            name = spec.get("dataflow")
+            if name not in known:
+                raise SpecError(f"unknown dataflow {name!r} for workload "
+                                f"{out['workload']!r}; choose from "
+                                f"{list(known)}")
+        elif kind == "sweep":
+            names = spec.get("dataflows") or list(known)
+            if not isinstance(names, list):
+                raise SpecError("spec field 'dataflows' must be a list")
+            bad = [n for n in names if n not in known]
+            if bad:
+                raise SpecError(f"unknown dataflows {bad} for workload "
+                                f"{out['workload']!r}; choose from "
+                                f"{list(known)}")
+            out["dataflows"] = [str(n) for n in names]
+        elif kind == "search":
+            out["generations"] = _positive(spec, "generations", 3,
+                                           MAX_GENERATIONS)
+            out["population"] = _positive(spec, "population", 6,
+                                          MAX_POPULATION)
+            out["samples"] = _positive(spec, "samples", 10, MAX_SAMPLES)
+            try:
+                out["seed"] = int(spec.get("seed", 0))
+            except (TypeError, ValueError):
+                raise SpecError("spec field 'seed' must be an integer")
+        return out
+
+    # -- engines ---------------------------------------------------------
+    def engine_for(self, workload_name: str, arch_name: str
+                   ) -> Tuple[EvaluationEngine, threading.Lock]:
+        """The persistent engine (and its job lock) for one registry
+        (workload, arch) pair, built on first use over the shared
+        artifact cache."""
+        key = (workload_name, arch_name.lower())
+        with self._lock:
+            engine = self._engines.get(key)
+            if engine is None:
+                engine = EvaluationEngine(
+                    workloads_mod.by_name(workload_name),
+                    arch_mod.by_name(arch_name),
+                    subtree_cache=self.subtree_cache)
+                self._engines[key] = engine
+                self._engine_locks[key] = threading.Lock()
+            return engine, self._engine_locks[key]
+
+    # -- worker loop -----------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            job = self.queue.claim()
+            if job is None:
+                return
+            try:
+                result = self._execute(job)
+            except TileFlowError as exc:
+                self.queue.fail(job, str(exc))
+            except Exception as exc:  # noqa: BLE001 - job isolation
+                self.queue.fail(job, f"{type(exc).__name__}: {exc}")
+            else:
+                self.queue.finish(job, result)
+
+    def _execute(self, job: Job) -> Dict[str, Any]:
+        """Run one claimed job under its own thread-local event bus."""
+        bus = events_mod.EventBus(
+            [events_mod.CallbackSink(
+                lambda event: job.append_event(event.to_json()))])
+        events_mod.enable(bus, local=True)
+        start = time.perf_counter()
+        outcome = "error"
+        try:
+            bus.emit("run.start", command=job.kind,
+                     label=str(job.spec.get("workload", "")))
+            if job.kind == "evaluate":
+                result = self._run_evaluate(job)
+            elif job.kind == "search":
+                result = self._run_search(job)
+            else:
+                result = self._run_sweep(job)
+            outcome = "ok"
+            return result
+        finally:
+            bus.emit("run.end", command=job.kind, outcome=outcome,
+                     wall_s=time.perf_counter() - start)
+            events_mod.disable(local=True)
+            bus.close()
+
+    def _record(self, job: Job, manifest_of) -> Optional[str]:
+        """Persist a completed job as a ledger run (when configured)."""
+        if self.ledger is None:
+            return None
+        run_id = self.ledger.new_run_id(
+            salt=f"{job.spec.get('workload')}-{job.id}")
+        self.ledger.record(manifest_of(run_id))
+        job.run_id = run_id
+        return run_id
+
+    def _run_evaluate(self, job: Job) -> Dict[str, Any]:
+        spec = job.spec
+        engine, lock = self.engine_for(spec["workload"], spec["arch"])
+        with lock:
+            tree = dataflow_for(engine.workload, spec["dataflow"],
+                                engine.arch)
+            before = engine.stats.to_dict()
+            start = time.perf_counter()
+            result = engine.evaluate_tree(tree)
+            wall_s = time.perf_counter() - start
+            counters = _delta(before, engine.stats.to_dict())
+            run_id = self._record(job, lambda rid: evaluate_run_manifest(
+                run_id=rid, engine=engine, workload=engine.workload,
+                arch=engine.arch, dataflow=spec["dataflow"], result=result,
+                wall_s=wall_s, counters=counters,
+                extra={"job": job.id}))
+        return {
+            "workload": spec["workload"], "arch": spec["arch"],
+            "dataflow": spec["dataflow"],
+            "latency_cycles": events_mod.jsonable_cost(
+                result.latency_cycles),
+            "energy_pj": events_mod.jsonable_cost(result.energy_pj),
+            "cost": events_mod.jsonable_cost(engine.cost_of(result)),
+            "feasible": bool(result.feasible),
+            "wall_s": wall_s, "counters": counters, "run_id": run_id,
+        }
+
+    def _run_search(self, job: Job) -> Dict[str, Any]:
+        spec = job.spec
+        engine, lock = self.engine_for(spec["workload"], spec["arch"])
+        with lock:
+            mapper = TileFlowMapper(engine.workload, engine.arch,
+                                    seed=spec["seed"], engine=engine)
+            before = engine.stats.to_dict()
+            start = time.perf_counter()
+            result = mapper.explore(generations=spec["generations"],
+                                    population=spec["population"],
+                                    mcts_samples=spec["samples"])
+            wall_s = time.perf_counter() - start
+            counters = _delta(before, engine.stats.to_dict())
+            champion = {
+                "cost": events_mod.jsonable_cost(result.best_cost),
+                "signature": engine.mapping_digest(result.best_genome,
+                                                   result.best_factors),
+                "genome": result.best_genome.describe(engine.workload),
+                "factors": dict(result.best_factors),
+            }
+            run_id = self._record(job, lambda rid: search_run_manifest(
+                run_id=rid, engine=engine, workload=engine.workload,
+                arch=engine.arch, result=result,
+                generations=spec["generations"],
+                population=spec["population"], samples=spec["samples"],
+                workers=1, seed=spec["seed"], wall_s=wall_s,
+                counters=counters, extra={"job": job.id}))
+        return {
+            "workload": spec["workload"], "arch": spec["arch"],
+            "champion": champion,
+            "trace": [events_mod.jsonable_cost(c) for c in result.trace],
+            "wall_s": wall_s, "counters": counters, "run_id": run_id,
+        }
+
+    def _run_sweep(self, job: Job) -> Dict[str, Any]:
+        spec = job.spec
+        engine, lock = self.engine_for(spec["workload"], spec["arch"])
+        names = spec.get("dataflows") or list(
+            dataflow_names(engine.workload))
+        rows: List[Dict[str, Any]] = []
+        with lock:
+            before = engine.stats.to_dict()
+            start = time.perf_counter()
+            for name in names:
+                tree = dataflow_for(engine.workload, name, engine.arch)
+                result = engine.evaluate_tree(tree)
+                rows.append({
+                    "dataflow": name,
+                    "latency_cycles": events_mod.jsonable_cost(
+                        result.latency_cycles),
+                    "cost": events_mod.jsonable_cost(
+                        engine.cost_of(result)),
+                    "feasible": bool(result.feasible),
+                })
+            wall_s = time.perf_counter() - start
+            counters = _delta(before, engine.stats.to_dict())
+        feasible = [r for r in rows if r["cost"] is not None]
+        best = (min(feasible, key=lambda r: r["cost"])["dataflow"]
+                if feasible else None)
+        return {
+            "workload": spec["workload"], "arch": spec["arch"],
+            "rows": rows, "best": best, "wall_s": wall_s,
+            "counters": counters, "run_id": None,
+        }
+
+    # -- introspection ---------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        """The ``GET /stats`` payload: queue, engines, shared cache."""
+        with self._lock:
+            engines = {
+                f"{wl}/{ar}": dict(engine.stats.to_dict(),
+                                   namespace=engine.namespace_digest)
+                for (wl, ar), engine in self._engines.items()
+            }
+        cache = self.subtree_cache
+        return {
+            "status": "draining" if self._draining else "ok",
+            "uptime_s": time.time() - self.started,
+            "workers": self.workers,
+            "jobs": self.queue.by_state(),
+            "queue": {"depth": self.queue.depth(),
+                      "max": self.queue.max_queue,
+                      "rejected_full": self.queue.rejected_full,
+                      "rejected_closed": self.queue.rejected_closed},
+            "engines": engines,
+            "subtree_cache": {
+                "hits": cache.hits, "misses": cache.misses,
+                "evictions": cache.eviction_count,
+                "entries": cache.total, "maxsize": cache.maxsize,
+                "by_kind": {kind: {"hits": h, "misses": m, "evictions": e}
+                            for kind, (h, m, e)
+                            in sorted(cache.counts_by_kind().items())},
+            },
+        }
+
+
+def _delta(before: Dict[str, int], after: Dict[str, int]
+           ) -> Dict[str, int]:
+    return {name: after[name] - before.get(name, 0) for name in after}

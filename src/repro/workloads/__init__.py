@@ -12,9 +12,27 @@ from .shapes import (ATTENTION_SHAPES, CLOUD_ATTENTION_NAMES,
 attention_from_shape = attention.from_shape
 conv_chain_from_shape = convchain.from_shape
 
+
+def by_name(name: str):
+    """Build the registry workload named ``name`` (Bert-S, CC1, ...).
+
+    One lookup shared by the CLI, the evaluation service, and ledger
+    manifest resolution; raises :class:`KeyError` (listing the known
+    names) for anything outside the shape tables.
+    """
+    if name in ATTENTION_SHAPES:
+        return attention_from_shape(ATTENTION_SHAPES[name])
+    if name in CONV_CHAIN_SHAPES:
+        return conv_chain_from_shape(CONV_CHAIN_SHAPES[name])
+    raise KeyError(
+        f"unknown workload {name!r}; choose an attention shape "
+        f"{sorted(ATTENTION_SHAPES)} or conv chain "
+        f"{sorted(CONV_CHAIN_SHAPES)}")
+
+
 __all__ = [
     "self_attention", "conv_chain", "matmul", "batched_matmul", "mlp",
-    "attention_from_shape", "conv_chain_from_shape",
+    "attention_from_shape", "conv_chain_from_shape", "by_name",
     "ATTENTION_SHAPES", "CONV_CHAIN_SHAPES",
     "EDGE_ATTENTION_NAMES", "CLOUD_ATTENTION_NAMES",
     "AttentionShape", "ConvChainShape",
