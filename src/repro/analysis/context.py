@@ -216,8 +216,9 @@ class AnalysisContext:
         The returned :class:`~repro.engine.cache.KindStore` is already
         namespaced to this context's workload/arch/flags; hot loops may
         probe its ``data`` dict directly (recording outcomes via
-        ``store.hit()``/``store.miss()``) instead of paying
-        :meth:`shared_get` dispatch per lookup.
+        ``store.touch(key)``/``store.miss_through(key)`` — the latter
+        also consults the shared/disk tiers for tiered kinds) instead
+        of paying :meth:`shared_get` dispatch per lookup.
         """
         if self.artifact_cache is None:
             return None
@@ -234,9 +235,10 @@ class AnalysisContext:
             return None
         value = store.data.get(key)
         if value is None:
-            store.miss()
-            return None
-        store.hit()
+            # Counts the L1 miss, then falls through to the L2/L3 tiers
+            # for tiered kinds (tier hits re-enter L1 and return here).
+            return store.miss_through(key)
+        store.touch(key)
         return value
 
     def shared_put(self, kind: str, key: Any, value: Any) -> None:

@@ -173,9 +173,11 @@ class DataMovementAnalysis:
         for group in root.children_nodes():
             key = None if store is None else self._group_key(group)
             entry = None if store is None else store.data.get(key)
+            if entry is not None:
+                store.touch(key)
+            elif store is not None:
+                entry = store.miss_through(key)
             if entry is None:
-                if store is not None:
-                    store.miss()
                 fresh = []
                 for node in group.walk():
                     flows, contribs = self._analyze_node(node)
@@ -184,7 +186,6 @@ class DataMovementAnalysis:
                 if store is not None:
                     store.put(key, tuple(fresh))
             else:
-                store.hit()
                 for node, (fills, updates, contribs) in zip(group.walk(),
                                                             entry):
                     # Cached dicts are shared read-only across runs (all
@@ -395,11 +396,13 @@ class DataMovementAnalysis:
                    self._projected_walk(access, walk.loops))
             moved = store.data.get(key)
             if moved is None:
-                store.miss()
-                moved = self._recursion_volume(extents, access, walk.loops)
-                store.put(key, moved)
+                moved = store.miss_through(key)
+                if moved is None:
+                    moved = self._recursion_volume(extents, access,
+                                                   walk.loops)
+                    store.put(key, moved)
             else:
-                store.hit()
+                store.touch(key)
         else:
             moved = self._recursion_volume(extents, access, walk.loops)
         return moved * walk.multiplier

@@ -133,7 +133,10 @@ def cmd_search(args) -> int:
     w = args.writer
     workload = _workload(args)
     spec = arch_mod.by_name(args.arch)
-    engine = EvaluationEngine(workload, spec, workers=args.workers)
+    engine = EvaluationEngine(
+        workload, spec, workers=args.workers,
+        subtree_cache_size=args.cache_bound, cache_dir=args.cache_dir,
+        cache_persist=not args.no_cache_persist)
     mapper = TileFlowMapper(workload, spec, seed=args.seed,
                             workers=args.workers, engine=engine)
     start = time.perf_counter()
@@ -331,7 +334,11 @@ def cmd_serve(args) -> int:
     w = args.writer
     service = EvaluationService(workers=args.workers,
                                 max_queue=args.max_queue,
-                                ledger_root=args.ledger).start()
+                                ledger_root=args.ledger,
+                                subtree_cache_size=args.cache_bound,
+                                cache_dir=args.cache_dir,
+                                cache_persist=not args.no_cache_persist
+                                ).start()
     httpd = make_server(args.host, args.port, service,
                         max_body=args.max_body_kb * 1024)
     host, port = httpd.server_address[:2]
@@ -413,6 +420,17 @@ def cmd_client(args) -> int:
             for event in client.watch(args.job_id):
                 print(json.dumps(event, sort_keys=True))
             return 0
+        if args.verb == "cache-clear":
+            outcome = client.clear_cache(
+                reset_counters=args.reset_counters)
+            if outcome.get("cleared"):
+                w.emit(f"cache cleared: {outcome.get('entries_dropped')} "
+                       f"entries dropped across "
+                       f"{outcome.get('engines')} engine(s)")
+            else:
+                w.emit(f"cache clear failed: {outcome.get('error')}")
+            w.emit_json(outcome)
+            return 0 if outcome.get("cleared") else 1
         # stats
         stats = client.stats()
         jobs = stats.get("jobs", {})
@@ -440,6 +458,51 @@ def cmd_client(args) -> int:
         raise SystemExit(str(exc))
 
 
+def cmd_cache(args) -> int:
+    """Inspect or maintain the disk-persistent artifact tier (L3)."""
+    from .engine.cache import DiskArtifactStore
+    from .engine.signature import cache_namespace
+
+    w = args.writer
+    store = DiskArtifactStore(args.cache_dir)
+    if args.verb == "stats":
+        stats = store.stats()
+        w.emit(f"cache root: {stats['root']} (schema v{stats['schema']})")
+        for shard in stats["namespaces"]:
+            kinds = " ".join(f"{k}={v['entries']}"
+                             for k, v in sorted(shard["kinds"].items()))
+            w.emit(f"  {shard['dir']}  {shard['namespace']}")
+            w.emit(f"    {kinds or '(no shard files)'}  "
+                   f"[{shard['bytes']} bytes]")
+        w.emit(f"total: {stats['total_entries']} entries, "
+               f"{stats['total_bytes']} bytes, "
+               f"{len(stats['namespaces'])} namespace(s)")
+        w.emit_json(stats)
+        return 0
+    if args.verb == "clear":
+        removed = store.clear()
+        w.emit(f"removed {removed} shard(s) under {store.root}")
+        w.emit_json({"removed": removed})
+        return 0
+    # purge: one namespace, by explicit prefix or workload/arch lookup.
+    selector = args.namespace
+    if selector is None and args.workload:
+        selector = cache_namespace(_workload(args),
+                                   arch_mod.by_name(args.arch),
+                                   True, True)
+    if selector is None:
+        raise SystemExit("cache purge: give --namespace PREFIX, or "
+                         "--workload NAME (with --arch; assumes default "
+                         "model flags — use --namespace from `cache "
+                         "stats` for ablation-flag shards)")
+    removed = store.purge(selector)
+    for ns in removed:
+        w.emit(f"purged {ns}")
+    w.emit(f"removed {len(removed)} shard(s)")
+    w.emit_json({"removed": removed})
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     common = argparse.ArgumentParser(add_help=False)
     out = common.add_argument_group("output")
@@ -462,6 +525,23 @@ def build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--events", metavar="FILE", default=None,
                       help="stream structured events (one JSON object per "
                            "line; schema: tests/data/event_schema.json)")
+
+    from .engine.cache import DEFAULT_SUBTREE_CACHE_SIZE
+
+    def cache_flags(p: argparse.ArgumentParser) -> None:
+        """Tiered-artifact-store knobs shared by search and serve."""
+        p.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="disk-persistent artifact tier (L3): load "
+                            "subtree artifacts from DIR and flush them "
+                            "back on exit, so reruns warm-start (inspect "
+                            "with `repro cache stats`)")
+        p.add_argument("--cache-bound", type=int,
+                       default=DEFAULT_SUBTREE_CACHE_SIZE,
+                       help="in-memory subtree artifact cache entry "
+                            "bound (L1; 0 disables incremental reuse)")
+        p.add_argument("--no-cache-persist", action="store_true",
+                       help="with --cache-dir: read the disk tier but "
+                            "never write it back")
 
     parser = argparse.ArgumentParser(
         prog="repro", description="TileFlow reproduction CLI")
@@ -500,6 +580,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--run-id", default=None,
                    help="explicit run id for --ledger (default: "
                         "timestamp-<workload>)")
+    cache_flags(p)
     p.set_defaults(func=cmd_search)
 
     p = sub.add_parser("validate", parents=[common],
@@ -566,12 +647,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "runs/; empty string disables)")
     p.add_argument("--max-body-kb", type=int, default=64,
                    help="request-body cap in KiB (HTTP 413 beyond it)")
+    cache_flags(p)
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("client", parents=[common],
                        help="talk to a running evaluation service")
     p.add_argument("verb", choices=("submit", "status", "watch",
-                                    "result", "stats"))
+                                    "result", "stats", "cache-clear"))
     p.add_argument("--url", default="http://127.0.0.1:8731",
                    help="service endpoint")
     p.add_argument("--kind", choices=("evaluate", "search", "sweep"),
@@ -588,9 +670,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="submit: block until the job is terminal")
     p.add_argument("--timeout", type=float, default=300.0,
                    help="seconds to wait in result/--wait")
+    p.add_argument("--reset-counters", action="store_true",
+                   help="cache-clear: also zero the cache's lifetime "
+                        "hit/miss/eviction counters")
     p.add_argument("job_id", nargs="?", default=None,
                    help="job id for status/watch/result")
     p.set_defaults(func=cmd_client)
+
+    p = sub.add_parser("cache", parents=[common],
+                       help="inspect/maintain the on-disk artifact "
+                            "cache written by --cache-dir")
+    p.add_argument("verb", choices=("stats", "clear", "purge"))
+    p.add_argument("--cache-dir", metavar="DIR", required=True,
+                   help="the directory given to search/serve --cache-dir")
+    p.add_argument("--namespace", default=None, metavar="PREFIX",
+                   help="purge: namespace string (or shard-dir hash) "
+                        "prefix to remove — see `cache stats`")
+    p.add_argument("--workload", default=None,
+                   help="purge: remove the shard of this workload")
+    p.add_argument("--arch", default="edge",
+                   help="architecture for --workload purge")
+    p.set_defaults(func=cmd_cache)
     return parser
 
 

@@ -1,0 +1,246 @@
+"""L2 of the tiered subtree artifact store: cross-process shared memory.
+
+:class:`SharedArtifactStore` is an append-mostly log of pickled artifact
+entries in a single mmap-backed file, shared by the parent engine and
+its ``tune_population`` :class:`~concurrent.futures.ProcessPoolExecutor`
+workers (and, in principle, by any set of cooperating processes handed
+the same path).  Design constraints, in order:
+
+* **Read-mostly and lock-free on reads.**  Readers never take the file
+  lock: the header's committed-tail offset is published *after* a
+  record's bytes are fully written, so a reader parsing ``[index
+  cursor, tail)`` only ever sees complete records.  A probe is a local
+  dict lookup plus, at worst, an incremental parse of records appended
+  since the last probe.
+* **Append-mostly.**  Entries are immutable (same contract as L1) and
+  never deleted; a full log stops accepting appends (``dropped``
+  counts them) rather than evicting — L2 is a sidecar, not the source
+  of truth, and the file dies with the run.
+* **Exact bytes.**  Values are pickled with the highest protocol;
+  ints/strings/floats round-trip exactly, preserving the engine's
+  byte-identity contract for tier-served artifacts.
+
+Records are ``[u32 key_len][u32 val_len][key bytes][pickle bytes]``
+after a 16-byte header (magic, schema, committed tail, flags).  Keys
+are ``repr((namespace, kind, key)).encode()`` — artifact keys are
+tuples of primitives with stable reprs, and the namespace string
+already pins workload/arch/model flags, so equal reprs mean equal
+artifacts.  Writers serialise appends with :func:`fcntl.flock` on the
+backing file and re-scan the tail under the lock, so duplicate keys
+appended racily resolve to first-writer-wins (readers index the first
+occurrence).
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import pickle
+import struct
+import tempfile
+import threading
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+try:  # pragma: no cover - import guard exercised only off-linux
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None
+
+__all__ = ["DEFAULT_L2_BYTES", "SharedArtifactStore"]
+
+#: Default byte size of the shared log.  Artifact values are small
+#: (ints, short tuples, flow dicts of a few dozen floats); 16 MiB holds
+#: far more entries than the L1 bound admits.
+DEFAULT_L2_BYTES = 16 * 1024 * 1024
+
+_MAGIC = b"TFL2"
+_SCHEMA = 1
+_HEADER = struct.Struct("<4sIII")  # magic, schema, committed tail, flags
+_RECORD = struct.Struct("<II")     # key_len, val_len
+_FLAG_FULL = 1
+
+
+class SharedArtifactStore:
+    """Cross-process append-mostly artifact log over one mmap'd file."""
+
+    def __init__(self, path: str, size: int = DEFAULT_L2_BYTES,
+                 create: bool = False):
+        self.path = path
+        self._lock = threading.Lock()
+        #: key bytes -> (value offset, value length); lazily extended.
+        self._index: Dict[bytes, Tuple[int, int]] = {}
+        self._cursor = _HEADER.size
+        self.hits = 0
+        self.misses = 0
+        self.appends = 0
+        #: Appends refused (log full or unpicklable value).
+        self.dropped = 0
+        flags = os.O_RDWR | (os.O_CREAT if create else 0)
+        self._fd = os.open(path, flags, 0o600)
+        if create:
+            os.ftruncate(self._fd, size)
+            self.size = size
+            self._mm = mmap.mmap(self._fd, size)
+            with self._flocked():
+                if self._mm[:4] != _MAGIC:
+                    _HEADER.pack_into(self._mm, 0, _MAGIC, _SCHEMA,
+                                      _HEADER.size, 0)
+        else:
+            self.size = os.fstat(self._fd).st_size
+            self._mm = mmap.mmap(self._fd, self.size)
+            magic, schema, _tail, _flags = _HEADER.unpack_from(self._mm, 0)
+            if magic != _MAGIC or schema != _SCHEMA:
+                self.close()
+                raise ValueError(
+                    f"not a v{_SCHEMA} shared artifact store: {path}")
+
+    # -- construction helpers -------------------------------------------
+
+    @classmethod
+    def create(cls, size: int = DEFAULT_L2_BYTES,
+               dir: Optional[str] = None) -> "SharedArtifactStore":
+        """A fresh store in an unlinked-on-close temp file."""
+        fd, path = tempfile.mkstemp(prefix="repro-l2-", suffix=".bin",
+                                    dir=dir)
+        os.close(fd)
+        return cls(path, size=size, create=True)
+
+    @classmethod
+    def attach(cls, path: str) -> "SharedArtifactStore":
+        """Attach to an existing store (pool workers)."""
+        return cls(path)
+
+    # -- internals -------------------------------------------------------
+
+    def _flocked(self):
+        return _Flock(self._fd)
+
+    @staticmethod
+    def _key_bytes(namespace: str, kind: str, key: Hashable) -> bytes:
+        return repr((namespace, kind, key)).encode("utf-8")
+
+    def _tail(self) -> int:
+        return _HEADER.unpack_from(self._mm, 0)[2]
+
+    def _refresh(self) -> None:
+        """Index records appended since the last scan (lock-free read)."""
+        tail = self._tail()
+        cursor = self._cursor
+        mm = self._mm
+        while cursor < tail:
+            klen, vlen = _RECORD.unpack_from(mm, cursor)
+            koff = cursor + _RECORD.size
+            voff = koff + klen
+            kb = bytes(mm[koff:voff])
+            self._index.setdefault(kb, (voff, vlen))
+            cursor = voff + vlen
+        self._cursor = cursor
+
+    # -- public API ------------------------------------------------------
+
+    @property
+    def full(self) -> bool:
+        return bool(_HEADER.unpack_from(self._mm, 0)[3] & _FLAG_FULL)
+
+    def __len__(self) -> int:
+        with self._lock:
+            self._refresh()
+            return len(self._index)
+
+    def get(self, namespace: str, kind: str, key: Hashable) -> Optional[Any]:
+        kb = self._key_bytes(namespace, kind, key)
+        with self._lock:
+            entry = self._index.get(kb)
+            if entry is None and self._cursor < self._tail():
+                self._refresh()
+                entry = self._index.get(kb)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            voff, vlen = entry
+        return pickle.loads(self._mm[voff:voff + vlen])
+
+    def put(self, namespace: str, kind: str, key: Hashable,
+            value: Any) -> bool:
+        """Append an entry; False when already present, full, or unpicklable."""
+        kb = self._key_bytes(namespace, kind, key)
+        with self._lock:
+            if kb in self._index:
+                return False
+        try:
+            vb = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            with self._lock:
+                self.dropped += 1
+            return False
+        need = _RECORD.size + len(kb) + len(vb)
+        with self._flocked():
+            with self._lock:
+                self._refresh()
+                if kb in self._index:
+                    return False
+                tail = self._cursor
+                if tail + need > self.size:
+                    flags = _HEADER.unpack_from(self._mm, 0)[3]
+                    _HEADER.pack_into(self._mm, 0, _MAGIC, _SCHEMA, tail,
+                                      flags | _FLAG_FULL)
+                    self.dropped += 1
+                    return False
+                _RECORD.pack_into(self._mm, tail, len(kb), len(vb))
+                koff = tail + _RECORD.size
+                voff = koff + len(kb)
+                self._mm[koff:voff] = kb
+                self._mm[voff:voff + len(vb)] = vb
+                # Publish the record only after its bytes are in place.
+                flags = _HEADER.unpack_from(self._mm, 0)[3]
+                _HEADER.pack_into(self._mm, 0, _MAGIC, _SCHEMA,
+                                  voff + len(vb), flags)
+                self._index[kb] = (voff, len(vb))
+                self._cursor = voff + len(vb)
+                self.appends += 1
+        return True
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            self._refresh()
+            return {"path": self.path, "size": self.size,
+                    "used": self._cursor, "entries": len(self._index),
+                    "hits": self.hits, "misses": self.misses,
+                    "appends": self.appends, "dropped": self.dropped,
+                    "full": self.full}
+
+    def close(self) -> None:
+        try:
+            self._mm.close()
+        except (BufferError, ValueError):  # pragma: no cover
+            pass
+        try:
+            os.close(self._fd)
+        except OSError:  # pragma: no cover
+            pass
+
+    def unlink(self) -> None:
+        """Close and remove the backing file (creator-side cleanup)."""
+        self.close()
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+
+class _Flock:
+    """``with``-scoped advisory file lock (no-op where flock is absent)."""
+
+    def __init__(self, fd: int):
+        self._fd = fd
+
+    def __enter__(self):
+        if fcntl is not None:
+            fcntl.flock(self._fd, fcntl.LOCK_EX)
+        return self
+
+    def __exit__(self, *exc):
+        if fcntl is not None:
+            fcntl.flock(self._fd, fcntl.LOCK_UN)
+        return False

@@ -43,8 +43,8 @@ from ..mapper.encoding import (Genome, build_genome_tree,
 from ..mapper.mcts import MCTSTuner
 from ..obs import events
 from ..tile.tree import AnalysisTree
-from .cache import (DEFAULT_SUBTREE_CACHE_SIZE, LRUCache,
-                    SubtreeArtifactCache)
+from .cache import (DEFAULT_SUBTREE_CACHE_SIZE, DiskArtifactStore, LRUCache,
+                    SharedArtifactStore, SubtreeArtifactCache)
 from .prescreen import prescreen, rejected_result
 from .signature import (arch_fingerprint, cache_namespace, digest,
                         mapping_signature, template_signature,
@@ -80,6 +80,11 @@ class EngineStats:
     #: Entries dropped from the subtree artifact cache to honour its
     #: bound (per-kind attribution lives on the cache itself).
     subtree_evictions: int = 0
+    #: Subtree L1 misses served by the cross-process shared store (L2)
+    #: or the disk-persistent store (L3).  Subsets of
+    #: ``subtree_misses`` — a tier hit is still an L1 miss.
+    subtree_l2_hits: int = 0
+    subtree_l3_hits: int = 0
     #: Energy passes skipped for EDP-objective candidates already known
     #: infeasible.
     edp_energy_skipped: int = 0
@@ -144,6 +149,16 @@ class EvaluationEngine:
         every later job.  Entries are namespaced by workload/arch/flag
         fingerprints, so sharing never mixes artifact families; this
         engine's hit/miss attribution is scoped to its own namespace.
+    cache_dir:
+        Directory of the disk-persistent artifact tier (L3).  When the
+        engine owns its subtree cache, artifacts of the tiered kinds
+        are loaded from here on first miss and flushed back on
+        :meth:`shutdown`, so reruns warm-start.  Ignored when an
+        external ``subtree_cache`` is supplied — its owner decides the
+        tiering (the service attaches its own L3).
+    cache_persist:
+        Write the L3 tier back on shutdown (reads still happen).
+        ``False`` makes a warm-started run leave the disk untouched.
     """
 
     def __init__(self, workload: Workload, arch: Architecture, *,
@@ -154,7 +169,9 @@ class EvaluationEngine:
                  model_rmw: bool = True, objective: str = "latency",
                  incremental: bool = True,
                  subtree_cache_size: int = DEFAULT_SUBTREE_CACHE_SIZE,
-                 subtree_cache: Optional[SubtreeArtifactCache] = None):
+                 subtree_cache: Optional[SubtreeArtifactCache] = None,
+                 cache_dir: Optional[str] = None,
+                 cache_persist: bool = True):
         if objective not in _OBJECTIVES:
             raise ValueError(f"unknown objective {objective!r}; choose from "
                              f"{sorted(_OBJECTIVES)}")
@@ -177,12 +194,20 @@ class EvaluationEngine:
         #: Persistent cross-evaluation subtree artifact store (None when
         #: incremental evaluation is off).  May be shared across engines
         #: (the service passes one store to every engine it builds).
+        self._cache_persist = cache_persist
+        self._owns_subtree_cache = False
         if subtree_cache is not None and incremental:
             self.subtree_cache: Optional[SubtreeArtifactCache] = subtree_cache
         else:
             self.subtree_cache = (
                 SubtreeArtifactCache(subtree_cache_size)
                 if incremental and subtree_cache_size > 0 else None)
+            self._owns_subtree_cache = self.subtree_cache is not None
+            if self._owns_subtree_cache and cache_dir:
+                self.subtree_cache.attach_l3(DiskArtifactStore(cache_dir))
+        #: Cross-process shared tier, created lazily with the worker
+        #: pool (there is nothing to share before workers exist).
+        self._l2: Optional[SharedArtifactStore] = None
         self._base = (workload_fingerprint(workload), arch_fingerprint(arch),
                       model_eviction, model_rmw)
         #: This engine's slice of a (possibly shared) subtree cache —
@@ -249,6 +274,7 @@ class EvaluationEngine:
         subtree = self.subtree_cache
         ns = self._subtree_ns
         before = subtree.counts(ns) if subtree is not None else (0, 0)
+        before_tier = subtree.tier_counts(ns) if subtree is not None else (0, 0)
         before_ev = subtree.eviction_count if subtree is not None else 0
         before_kinds = (subtree.counts_by_kind(ns)
                         if emitting and subtree is not None else None)
@@ -304,6 +330,11 @@ class EvaluationEngine:
             if subtree.eviction_count > before_ev:
                 self._bump("subtree_evictions",
                            subtree.eviction_count - before_ev)
+            l2_hits, l3_hits = subtree.tier_counts(ns)
+            if l2_hits > before_tier[0]:
+                self._bump("subtree_l2_hits", l2_hits - before_tier[0])
+            if l3_hits > before_tier[1]:
+                self._bump("subtree_l3_hits", l3_hits - before_tier[1])
             if before_kinds is not None:
                 after_kinds = subtree.counts_by_kind(ns)
                 for kind in sorted(after_kinds):
@@ -463,10 +494,26 @@ class EvaluationEngine:
                 context = multiprocessing.get_context("fork")
             except ValueError:  # pragma: no cover - non-POSIX platforms
                 context = multiprocessing.get_context()
+            # Stand up the cross-process shared tier (L2) alongside the
+            # pool: workers publish freshly computed subtree artifacts
+            # there and consult it on L1 miss, so N workers stop
+            # rediscovering the same subtrees N times.  The parent
+            # engine attaches too — post-search champion evaluations
+            # reuse worker-discovered artifacts.
+            l2_path = None
+            if self.subtree_cache is not None and self._l2 is None:
+                try:
+                    self._l2 = SharedArtifactStore.create()
+                except OSError:  # pragma: no cover - no usable tmpdir
+                    self._l2 = None
+                if self._l2 is not None:
+                    self.subtree_cache.attach_l2(self._l2)
+            if self._l2 is not None:
+                l2_path = self._l2.path
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers, mp_context=context,
                 initializer=_worker_init,
-                initargs=(self.workload, self.arch, self.config()))
+                initargs=(self.workload, self.arch, self.config(), l2_path))
             obs.gauge("engine.workers", self.workers)
         except Exception:  # pragma: no cover - platform-dependent
             self._pool_broken = True
@@ -480,8 +527,25 @@ class EvaluationEngine:
             pool.shutdown(wait=False, cancel_futures=True)
 
     def shutdown(self) -> None:
-        """Release the worker pool (idempotent; engine stays usable)."""
+        """Release the worker pool and run-scoped cache tiers.
+
+        Idempotent; the engine stays usable (a later ``tune_population``
+        simply stands the pool and L2 back up).  When the engine owns
+        its subtree cache, tiered artifacts are flushed to the L3 disk
+        store here (unless constructed with ``cache_persist=False``).
+        """
         self._teardown_pool()
+        cache = self.subtree_cache
+        if cache is not None:
+            if self._l2 is not None:
+                # The shared log dies with the run; detach before
+                # unlinking so later probes don't read a closed mmap.
+                cache.attach_l2(None)
+                self._l2.unlink()
+                self._l2 = None
+            if (self._owns_subtree_cache and self._cache_persist
+                    and cache.l3 is not None):
+                cache.flush_l3()
 
     def __enter__(self) -> "EvaluationEngine":
         return self
@@ -500,9 +564,16 @@ _WORKER_ENGINE: Optional[EvaluationEngine] = None
 
 
 def _worker_init(workload: Workload, arch: Architecture,
-                 config: Dict[str, object]) -> None:
+                 config: Dict[str, object],
+                 l2_path: Optional[str] = None) -> None:
     global _WORKER_ENGINE
     _WORKER_ENGINE = EvaluationEngine(workload, arch, workers=1, **config)
+    if l2_path is not None and _WORKER_ENGINE.subtree_cache is not None:
+        try:
+            _WORKER_ENGINE.subtree_cache.attach_l2(
+                SharedArtifactStore.attach(l2_path))
+        except (OSError, ValueError):  # pragma: no cover - racing unlink
+            pass
 
 
 def _worker_tune(genome: Genome, seed: int, samples: int,

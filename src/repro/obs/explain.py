@@ -64,6 +64,19 @@ def _kind_delta(after: Dict[str, tuple], before: Dict[str, tuple]
     return out
 
 
+def _tier_delta(after: Dict[str, tuple], before: Dict[str, tuple]
+                ) -> Dict[str, Dict[str, int]]:
+    """Per-kind (l2_hits, l3_hits) movement between two tier snapshots —
+    which artifact kinds the shared/disk tiers actually served."""
+    out: Dict[str, Dict[str, int]] = {}
+    for kind in sorted(after):
+        l2, l3 = after[kind]
+        b2, b3 = before.get(kind, (0, 0))
+        if l2 > b2 or l3 > b3:
+            out[kind] = {"l2_hits": l2 - b2, "l3_hits": l3 - b3}
+    return out
+
+
 def explain_tree(tree: AnalysisTree, arch: Architecture, *,
                  engine=None, respect_memory: bool = True
                  ) -> Dict[str, Any]:
@@ -93,6 +106,8 @@ def explain_tree(tree: AnalysisTree, arch: Architecture, *,
         span_mark = len(tracer.spans) if tracer is not None else 0
         kinds_before = (subtree.counts_by_kind()
                         if subtree is not None else {})
+        tiers_before = (subtree.tier_counts_by_kind()
+                        if subtree is not None else {})
         stats_before = engine.stats.to_dict()
         results[label] = engine.evaluate_template(template, factors,
                                                   full=True)
@@ -103,6 +118,9 @@ def explain_tree(tree: AnalysisTree, arch: Architecture, *,
             "subtree_by_kind": _kind_delta(
                 subtree.counts_by_kind() if subtree is not None else {},
                 kinds_before),
+            "tiers_by_kind": _tier_delta(
+                subtree.tier_counts_by_kind()
+                if subtree is not None else {}, tiers_before),
             "engine_delta": {k: stats_after[k] - stats_before[k]
                              for k in stats_after
                              if stats_after[k] != stats_before[k]},
@@ -137,6 +155,13 @@ def explain_tree(tree: AnalysisTree, arch: Architecture, *,
             "context_memo_hits": context_memo_hits,
             "cold": rounds["cold"]["subtree_by_kind"],
             "warm": rounds["warm"]["subtree_by_kind"],
+            # Which kinds the shared (L2) / disk (L3) tiers served —
+            # empty unless the engine has tiers attached (e.g. a warm
+            # --cache-dir): tier hits mean "not recomputed, loaded".
+            "tiers": {
+                "cold": rounds["cold"]["tiers_by_kind"],
+                "warm": rounds["warm"]["tiers_by_kind"],
+            },
         },
         "prescreen": {
             "feasible": not violations,
@@ -240,6 +265,16 @@ def render_explain(report: Dict[str, Any]) -> str:
                 f"{kind:10s} "
                 f"{c.get('hits', 0):>7d}/{c.get('misses', 0):<8d} "
                 f"{w.get('hits', 0):>7d}/{w.get('misses', 0):<8d}")
+    tiers = prov.get("tiers") or {}
+    tier_kinds = sorted(set(tiers.get("cold") or {})
+                        | set(tiers.get("warm") or {}))
+    for kind in tier_kinds:
+        c = (tiers.get("cold") or {}).get(kind, {})
+        w = (tiers.get("warm") or {}).get(kind, {})
+        lines.append(
+            f"{kind:10s} tier-served: cold L2={c.get('l2_hits', 0)} "
+            f"L3={c.get('l3_hits', 0)}, warm L2={w.get('l2_hits', 0)} "
+            f"L3={w.get('l3_hits', 0)}")
     lines.append(f"context-memo repeat lookups absorbed : "
                  f"{prov['context_memo_hits']}")
 

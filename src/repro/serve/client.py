@@ -83,6 +83,11 @@ class ServiceClient:
     def drain(self) -> Dict[str, Any]:
         return self._request("POST", "/admin/drain", {})
 
+    def clear_cache(self, reset_counters: bool = False) -> Dict[str, Any]:
+        """Drain-then-clear the service's shared artifact cache."""
+        return self._request("POST", "/admin/cache/clear",
+                             {"reset_counters": bool(reset_counters)})
+
     def result(self, job_id: str, timeout: float = 120.0,
                poll_s: float = 0.2) -> Dict[str, Any]:
         """Block until the job is terminal; returns its full status.

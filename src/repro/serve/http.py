@@ -10,6 +10,8 @@ Routes (all JSON unless noted)::
     GET    /jobs/<id>/events    NDJSON event stream (?since=N&follow=0|1)
     DELETE /jobs/<id>           cancel (queued jobs only)
     POST   /admin/drain         begin graceful drain
+    POST   /admin/cache/clear   empty the shared artifact cache
+                                (body optional: {"reset_counters": true})
 
 Status codes: 400 malformed body/kind/spec, 404 unknown job or path,
 409 cancel of a non-queued job, 411 missing Content-Length, 413 body
@@ -136,6 +138,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         elif parts == ["admin", "drain"]:
             self.service.begin_drain()
             self._send_json(202, {"status": "draining"})
+        elif parts == ["admin", "cache", "clear"]:
+            self._clear_cache()
         else:
             self._error(404, f"no route {self.path!r}")
 
@@ -180,6 +184,21 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                         {"Retry-After": str(RETRY_AFTER_S)})
         else:
             self._send_json(202, job.to_dict(verbose=False))
+
+    def _clear_cache(self) -> None:
+        """Drain-then-clear the shared artifact cache.  The body is
+        optional (unlike job submission — there is nothing required to
+        say), so a missing or zero Content-Length means an empty
+        options object, not a 411."""
+        payload: Dict[str, Any] = {}
+        if self.headers.get("Content-Length", "0").strip() not in ("", "0"):
+            body = self._read_body()
+            if body is None:
+                return
+            payload = body
+        outcome = self.service.clear_cache(
+            reset_counters=bool(payload.get("reset_counters")))
+        self._send_json(200 if outcome.get("cleared") else 503, outcome)
 
     def _get_job(self, job_id: str) -> None:
         try:

@@ -100,6 +100,65 @@ class TestQuiet:
         assert main(["evaluate", "Bert-S", "tileflow", "--quiet"]) in (0, 1)
 
 
+class TestCacheCommand:
+    def test_cache_flags_parse(self):
+        args = build_parser().parse_args(
+            ["search", "Bert-S", "--cache-dir", "/tmp/x",
+             "--cache-bound", "128", "--no-cache-persist"])
+        assert args.cache_dir == "/tmp/x"
+        assert args.cache_bound == 128
+        assert args.no_cache_persist
+        # serve takes the same flags; cache requires --cache-dir.
+        args = build_parser().parse_args(["serve", "--cache-dir", "/tmp/x"])
+        assert args.cache_dir == "/tmp/x"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "stats"])
+
+    def test_search_writes_shards_then_stats_and_purge(self, tmp_path,
+                                                       capsys):
+        import json
+        cache_dir = str(tmp_path / "cache")
+        assert main(["search", "ViT/16-B", "--generations", "1",
+                     "--population", "4", "--samples", "3",
+                     "--cache-dir", cache_dir, "--quiet"]) == 0
+        capsys.readouterr()
+
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        out = capsys.readouterr().out
+        assert "walkvol" in out and "total:" in out
+        assert "1 namespace(s)" in out
+
+        # Purge by workload/arch resolves the namespace for you.
+        assert main(["cache", "purge", "--cache-dir", cache_dir,
+                     "--workload", "ViT/16-B", "--arch", "edge"]) == 0
+        assert "removed 1 shard(s)" in capsys.readouterr().out
+
+        assert main(["cache", "stats", "--cache-dir", cache_dir,
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["total_entries"] == 0
+        assert payload["namespaces"] == []
+
+    def test_cache_clear_and_purge_selector_required(self, tmp_path,
+                                                     capsys):
+        import json
+        from repro.engine.cache import DiskArtifactStore
+        cache_dir = str(tmp_path / "cache")
+        DiskArtifactStore(cache_dir).flush("ns|x", "walkvol", {"k": 1})
+
+        with pytest.raises(SystemExit, match="--namespace"):
+            main(["cache", "purge", "--cache-dir", cache_dir])
+
+        assert main(["cache", "purge", "--cache-dir", cache_dir,
+                     "--namespace", "ns|", "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["removed"] == ["ns|x"]
+
+        DiskArtifactStore(cache_dir).flush("ns|y", "cov", {"k": 1})
+        assert main(["cache", "clear", "--cache-dir", cache_dir,
+                     "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["removed"] == 1
+
+
 class TestObservabilityFlags:
     def test_profile_prints_breakdown_to_stderr(self, capsys):
         assert main(["evaluate", "Bert-S", "tileflow", "--profile"]) == 0

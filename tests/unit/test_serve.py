@@ -358,6 +358,108 @@ class TestHTTPAPI:
 
 
 # ---------------------------------------------------------------------------
+# Cache administration: clear_cache semantics, the /admin/cache/clear
+# endpoint, the /stats tiers block, and L3 warm-start across restarts.
+
+_EVAL_SPEC = {"workload": "Bert-S", "arch": "edge", "dataflow": "layerwise"}
+
+
+def _analytical(result):
+    """A job result minus run bookkeeping (timings, counters, ledger
+    ids) — the part the tier byte-identity contract covers."""
+    return {k: v for k, v in result.items()
+            if k not in ("wall_s", "counters", "run_id")}
+
+
+class TestCacheAdmin:
+    def test_clear_cache_drops_entries_keeps_counters(self, tmp_path):
+        svc = EvaluationService(workers=1,
+                                cache_dir=str(tmp_path / "c")).start()
+        try:
+            svc.submit("evaluate", dict(_EVAL_SPEC))
+            assert svc.wait_drained(timeout=30)
+            cache = svc.subtree_cache
+            assert cache.total > 0 and cache.misses > 0
+            misses = cache.misses
+            out = svc.clear_cache()
+            assert out["cleared"] is True
+            assert out["entries_dropped"] > 0
+            assert out["counters_reset"] is False
+            assert cache.total == 0
+            # Lifetime counters deliberately survive a clear...
+            assert cache.misses == misses
+            # ...and only an explicit reset zeroes them.
+            out = svc.clear_cache(reset_counters=True)
+            assert out["counters_reset"] is True
+            assert cache.counts() == (0, 0)
+            assert cache.eviction_count == 0
+        finally:
+            svc.stop(timeout=5)
+
+    def test_stats_tiers_block_and_restart_warm_start(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+
+        svc = EvaluationService(workers=1, cache_dir=cache_dir).start()
+        try:
+            job = svc.submit("evaluate", dict(_EVAL_SPEC))
+            assert svc.wait_drained(timeout=30)
+            cold_result = _analytical(job.result)
+            tiers = svc.stats()["subtree_cache"]["tiers"]
+            assert tiers["policy"] == "segmented"
+            assert tiers["l3"]["attached"] is True
+            assert tiers["l3"]["persist"] is True
+            assert tiers["l3"]["hits"] == 0  # nothing on disk yet
+            assert tiers["l2"]["attached"] is False
+        finally:
+            svc.stop(timeout=5)  # flushes the tiered kinds to disk
+
+        svc2 = EvaluationService(workers=1, cache_dir=cache_dir).start()
+        try:
+            job = svc2.submit("evaluate", dict(_EVAL_SPEC))
+            assert svc2.wait_drained(timeout=30)
+            warm_result = _analytical(job.result)
+            stats = svc2.stats()["subtree_cache"]
+            assert stats["tiers"]["l3"]["hits"] > 0, "restart stayed cold"
+            # Tier-served artifacts surface per kind in by_kind.
+            assert any(entry.get("l3_hits")
+                       for entry in stats["by_kind"].values())
+            assert warm_result == cold_result
+        finally:
+            svc2.stop(timeout=5)
+
+    def test_http_cache_clear_endpoint(self, server):
+        httpd, svc = server
+        _request(httpd, "POST", "/jobs",
+                 {"kind": "evaluate", "spec": dict(_EVAL_SPEC)})
+        assert svc.wait_drained(timeout=30)
+        assert svc.subtree_cache.total > 0
+        status, payload, _ = _request(httpd, "POST", "/admin/cache/clear",
+                                      {"reset_counters": True})
+        assert status == 200
+        assert payload["cleared"] is True and payload["counters_reset"]
+        assert svc.subtree_cache.total == 0
+        assert svc.subtree_cache.counts() == (0, 0)
+        # The body is optional: no Content-Length is an empty options
+        # object here, not a 411 (nothing is required to be said).
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", httpd.server_address[1], timeout=10)
+        conn.putrequest("POST", "/admin/cache/clear")
+        conn.endheaders()
+        resp = conn.getresponse()
+        assert resp.status == 200
+        assert json.loads(resp.read())["cleared"] is True
+        conn.close()
+        # ... and so is an explicit Content-Length: 0 (curl -X POST).
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", httpd.server_address[1], timeout=10)
+        conn.request("POST", "/admin/cache/clear", body=b"")
+        resp = conn.getresponse()
+        assert resp.status == 200
+        assert json.loads(resp.read())["cleared"] is True
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
 # explain --run on service-produced manifests (regression: the service
 # ledger is a first-class explain source).
 
