@@ -1,0 +1,150 @@
+"""Checked int64 array primitives for the batched kernels.
+
+Every integer quantity in the scalar analysis is an unbounded Python
+int; NumPy int64 silently wraps.  These helpers make the batched/scalar
+boundary explicit: operands must be ``int64`` (anything else raises —
+no silent casts) and every multiply/add is post-checked so a product
+near 2^63 *raises* :class:`BatchedOverflowError` instead of wrapping —
+the sweep driver then falls back to the scalar path for the affected
+structure class.
+
+The overflow checks are exact even though the candidate result ``c``
+has already wrapped:
+
+* ``mul64`` — for ``a != 0``, ``c // a == b`` iff ``a * b`` fit.  When
+  the true product overflows, it differs from the wrapped ``c`` by a
+  nonzero multiple of 2^64, so ``c // a`` (floor division) cannot give
+  back ``b`` for any ``|a| >= 1``.
+* ``add64``/``sub64`` — two's-complement sign rules: a sum overflows
+  iff both operands share a sign and the result's sign flips; a
+  difference overflows iff the operands' signs differ and the result
+  does not take the minuend's sign.
+
+These run in the innermost batched loops (hundreds of thousands of
+calls per sweep), so they stay lean: plain ndarray operators (ndarray
+int64 arithmetic wraps without warning machinery, so no ``errstate``
+dance is needed), a ``dtype`` gate per operand, and ``.any()`` on the
+check mask.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+I8 = np.int64
+F8 = np.float64
+
+_I8_MIN = np.iinfo(I8).min
+_ONE = np.int64(1)
+_ZERO = np.int64(0)
+
+
+class BatchedError(Exception):
+    """Base class: this cohort/class cannot be batched (fall back)."""
+
+
+class BatchedOverflowError(BatchedError):
+    """An int64 recursion would exceed 2^63 — raise, never wrap."""
+
+
+class BatchedPlanError(BatchedError):
+    """The rep tree's structure does not match the planner's slots."""
+
+
+def as_i8(values, what: str = "array"):
+    """Require an int64 ndarray — the explicit dtype gate of the
+    batched/scalar boundary.  No silent upcasts: anything else raises.
+    """
+    arr = np.asarray(values)
+    if arr.dtype != I8:
+        raise BatchedError(f"{what}: expected int64, got {arr.dtype}")
+    return arr
+
+
+def _arg(x, what: str):
+    """Cheap per-operand gate: int64 arrays/scalars pass through,
+    Python ints are converted (overflow raises), anything else raises."""
+    dt = getattr(x, "dtype", None)
+    if dt is not None:
+        if dt != I8:
+            raise BatchedError(f"{what}: expected int64, got {dt}")
+        return x
+    try:
+        return np.int64(x)
+    except (OverflowError, TypeError) as exc:
+        raise BatchedOverflowError(
+            f"{what}: {x!r} does not fit int64") from exc
+
+
+def mul64(a, b, what: str = "mul64"):
+    """Elementwise ``a * b`` with an exact post-hoc overflow check."""
+    a = _arg(a, what)
+    b = _arg(b, what)
+    c = a * b
+    nz = a != _ZERO
+    bad = nz & (np.floor_divide(c, np.where(nz, a, _ONE)) != b)
+    if bad.any():
+        raise BatchedOverflowError(f"{what}: int64 product overflow")
+    return c
+
+
+def add64(a, b, what: str = "add64"):
+    """Elementwise ``a + b`` with a sign-rule overflow check."""
+    a = _arg(a, what)
+    b = _arg(b, what)
+    c = a + b
+    bad = ((a >= _ZERO) == (b >= _ZERO)) & ((c >= _ZERO) != (a >= _ZERO))
+    if bad.any():
+        raise BatchedOverflowError(f"{what}: int64 sum overflow")
+    return c
+
+
+def sub64(a, b, what: str = "sub64"):
+    """Elementwise ``a - b`` with a sign-rule overflow check."""
+    a = _arg(a, what)
+    b = _arg(b, what)
+    c = a - b
+    bad = ((a >= _ZERO) != (b >= _ZERO)) & ((c >= _ZERO) != (a >= _ZERO))
+    if bad.any():
+        raise BatchedOverflowError(f"{what}: int64 difference overflow")
+    return c
+
+
+def abs64(a, what: str = "abs64"):
+    """Elementwise ``|a|`` (|int64 min| itself does not fit int64)."""
+    a = _arg(a, what)
+    if (a == _I8_MIN).any():
+        raise BatchedOverflowError(f"{what}: |int64 min| overflow")
+    return np.abs(a)
+
+
+def cdiv64(a, b):
+    """Elementwise ceil division for non-negative ``a``, positive ``b``
+    — the ``-(-a // b)`` idiom of ``mapper.encoding``.
+    """
+    return -(np.floor_divide(-a, b))
+
+
+def box64(extents, n: int):
+    """``Π max(0, e)`` over per-dimension extent arrays — the batched
+    mirror of :func:`repro.analysis.slices.box_volume`.
+    """
+    vol = np.ones(n, dtype=I8)
+    for e in extents:
+        vol = mul64(vol, np.maximum(_ZERO, as_i8(e, "box64 extent")),
+                    "box64")
+    return vol
+
+
+def movement64(volume, counts, deltas):
+    """The §5.1 boundary recursion, innermost loop first:
+    ``s = (count - 1) * (delta + s) + s`` — exact int64 with overflow
+    checks at every step (mirror of
+    :func:`repro.analysis.slices.movement_recursion`).
+    """
+    s = np.zeros_like(as_i8(volume, "movement64 volume"))
+    for count, delta in zip(reversed(counts), reversed(deltas)):
+        inner = add64(as_i8(delta, "movement64 delta"), s, "movement64")
+        s = add64(mul64(sub64(count, _ONE, "movement64"), inner,
+                        "movement64"), s, "movement64")
+    return add64(volume, s, "movement64")

@@ -484,17 +484,31 @@ def cmd_cache(args) -> int:
         w.emit(f"removed {removed} shard(s) under {store.root}")
         w.emit_json({"removed": removed})
         return 0
-    # purge: one namespace, by explicit prefix or workload/arch lookup.
+    # purge: by explicit prefix / workload-arch lookup, or by budget
+    # (--max-age / --max-bytes drop whole shards oldest-mtime-first).
+    if args.max_age is not None or args.max_bytes is not None:
+        if args.namespace or args.workload:
+            raise SystemExit("cache purge: budget flags (--max-age/"
+                             "--max-bytes) and namespace selectors are "
+                             "mutually exclusive")
+        removed = store.purge_budget(max_age_s=args.max_age,
+                                     max_bytes=args.max_bytes)
+        for ns in removed:
+            w.emit(f"purged {ns}")
+        w.emit(f"removed {len(removed)} shard(s)")
+        w.emit_json({"removed": removed})
+        return 0
     selector = args.namespace
     if selector is None and args.workload:
         selector = cache_namespace(_workload(args),
                                    arch_mod.by_name(args.arch),
                                    True, True)
     if selector is None:
-        raise SystemExit("cache purge: give --namespace PREFIX, or "
+        raise SystemExit("cache purge: give --namespace PREFIX, "
                          "--workload NAME (with --arch; assumes default "
                          "model flags — use --namespace from `cache "
-                         "stats` for ablation-flag shards)")
+                         "stats` for ablation-flag shards), or a budget "
+                         "via --max-age/--max-bytes")
     removed = store.purge(selector)
     for ns in removed:
         w.emit(f"purged {ns}")
@@ -690,6 +704,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="purge: remove the shard of this workload")
     p.add_argument("--arch", default="edge",
                    help="architecture for --workload purge")
+    p.add_argument("--max-age", type=float, default=None, metavar="SECONDS",
+                   help="purge: remove shards not written to for this "
+                        "many seconds")
+    p.add_argument("--max-bytes", type=int, default=None, metavar="BYTES",
+                   help="purge: then remove oldest shards until the cache "
+                        "fits this many bytes")
     p.set_defaults(func=cmd_cache)
     return parser
 

@@ -192,6 +192,64 @@ class DiskArtifactStore:
                 removed.append(ns or shard_dir.name)
         return removed
 
+    def purge_budget(self, max_age_s: Optional[float] = None,
+                     max_bytes: Optional[int] = None) -> List[str]:
+        """Budget-driven purge: drop stale shards, then trim to a size cap.
+
+        Two independent budgets, either may be None:
+
+        * ``max_age_s`` — remove every shard whose newest ``.pkl`` was
+          last written more than this many seconds ago (age is
+          per-shard mtime, so one warm kind keeps its namespace alive);
+        * ``max_bytes`` — while the remaining shards' total ``.pkl``
+          bytes exceed this cap, remove whole shards oldest-mtime-first
+          (never partial shards: a namespace warm-starts completely or
+          not at all).
+
+        Returns the namespaces removed, oldest first.  Like
+        :meth:`purge`, only ``meta.json``-marked directories are
+        touched.
+        """
+        import time
+
+        shards = []  # (mtime, bytes, dir, namespace)
+        for shard_dir in self._shards():
+            try:
+                meta = json.loads((shard_dir / "meta.json").read_text())
+                ns = meta.get("namespace", "") or shard_dir.name
+            except (OSError, ValueError):
+                ns = shard_dir.name
+            mtime = 0.0
+            size = 0
+            for pkl in shard_dir.glob("*.pkl"):
+                try:
+                    stat = pkl.stat()
+                except OSError:
+                    continue
+                mtime = max(mtime, stat.st_mtime)
+                size += stat.st_size
+            shards.append((mtime, size, shard_dir, ns))
+        shards.sort(key=lambda item: item[0])
+
+        removed: List[str] = []
+        kept = []
+        now = time.time()
+        for mtime, size, shard_dir, ns in shards:
+            if max_age_s is not None and now - mtime > max_age_s:
+                shutil.rmtree(shard_dir, ignore_errors=True)
+                removed.append(ns)
+            else:
+                kept.append((mtime, size, shard_dir, ns))
+        if max_bytes is not None:
+            total = sum(size for _m, size, _d, _n in kept)
+            for mtime, size, shard_dir, ns in kept:
+                if total <= max_bytes:
+                    break
+                shutil.rmtree(shard_dir, ignore_errors=True)
+                removed.append(ns)
+                total -= size
+        return removed
+
     def clear(self) -> int:
         """Remove every shard; returns the number removed."""
         return len(self.purge(None))

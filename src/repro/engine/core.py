@@ -30,6 +30,7 @@ serial path transparently.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, fields
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -54,6 +55,19 @@ TemplateFn = Callable[..., AnalysisTree]
 
 #: Default memo-cache bound (entries, not bytes; results are small).
 DEFAULT_CACHE_SIZE = 4096
+
+#: Bound on the per-engine genome -> CohortEvaluator registry.
+_COHORT_REGISTRY_SIZE = 64
+
+_UNSET = object()
+
+
+def _have_numpy() -> bool:
+    try:
+        from ..analysis.batched import HAVE_NUMPY
+        return HAVE_NUMPY
+    except Exception:  # pragma: no cover - defensive
+        return False
 
 _OBJECTIVES: Dict[str, Callable[[EvaluationResult, bool], Cost]] = {
     "latency": latency_cost,
@@ -88,6 +102,15 @@ class EngineStats:
     #: Energy passes skipped for EDP-objective candidates already known
     #: infeasible.
     edp_energy_skipped: int = 0
+    #: Candidates priced by the batched cohort layer (array-native
+    #: structure-class sweeps; each would otherwise be a scalar walk).
+    batched_evaluations: int = 0
+    #: Candidates handed to the batched layer for pricing (sweep input
+    #: size; ``batched_evaluations / batch_fill`` is the batch yield).
+    batch_fill: int = 0
+    #: Batched candidates returned to the scalar path (unbatchable
+    #: structure class, int64 overflow, or cross-check mismatch).
+    batch_fallbacks: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -167,7 +190,7 @@ class EvaluationEngine:
                  prescreen: bool = True, partial: bool = True,
                  model_eviction: bool = True,
                  model_rmw: bool = True, objective: str = "latency",
-                 incremental: bool = True,
+                 incremental: bool = True, batched: bool = True,
                  subtree_cache_size: int = DEFAULT_SUBTREE_CACHE_SIZE,
                  subtree_cache: Optional[SubtreeArtifactCache] = None,
                  cache_dir: Optional[str] = None,
@@ -218,6 +241,18 @@ class EvaluationEngine:
         self._templates: Dict[int, Tuple[str, TemplateFn]] = {}
         self._pool = None
         self._pool_broken = False
+        #: Batched cohort layer (``analysis.batched``): prices sibling
+        #: factor candidates in one vectorized sweep.  Only engaged for
+        #: the plain latency-under-memory search objective — the only
+        #: cost contract the array templates mirror — and only when
+        #: NumPy is importable; otherwise every path stays scalar.
+        self.batched = bool(batched)
+        self._batch_enabled = (self.batched and objective == "latency"
+                               and respect_memory and _have_numpy())
+        #: genome -> CohortEvaluator (or None when construction failed);
+        #: bounded, evaluators keep per-genome cost tables warm across
+        #: GA generations.
+        self._cohorts: "OrderedDict" = OrderedDict()
 
     # -- configuration ---------------------------------------------------
     def config(self) -> Dict[str, object]:
@@ -231,6 +266,7 @@ class EvaluationEngine:
             "model_rmw": self.model.model_rmw,
             "objective": self.objective,
             "incremental": self._incremental,
+            "batched": self.batched,
             "subtree_cache_size": self._subtree_cache_size,
         }
 
@@ -427,9 +463,40 @@ class EvaluationEngine:
         space = genome_factor_space(self.workload, genome)
         tuner = MCTSTuner(space,
                           lambda point: self.genome_cost(genome, point),
-                          seed=seed)
+                          seed=seed,
+                          batch=self._cohort_hook(genome, space, samples))
         point, cost = tuner.search(samples)
         return cost, (point or {})
+
+    def _cohort_hook(self, genome: Genome, space, samples: int):
+        """The batched layer's tuner hook for ``genome`` (or ``None``).
+
+        Evaluators are cached per genome so a GA re-tuning the same
+        genome next generation reuses both its structure-class
+        templates and every already-swept sibling cost.  Short tunes
+        (``samples`` below the batched layer's break-even budget) stay
+        purely scalar: a sweep prices a whole sibling cohort up front,
+        and a search that asks for a few dozen points will never visit
+        enough of them to amortize the sweep.
+        """
+        if not self._batch_enabled:
+            return None
+        from ..analysis.batched.sweep import BATCH_MIN_SAMPLES
+        if samples < BATCH_MIN_SAMPLES:
+            return None
+        evaluator = self._cohorts.get(genome, _UNSET)
+        if evaluator is _UNSET:
+            try:
+                from ..analysis.batched.sweep import CohortEvaluator
+                evaluator = CohortEvaluator(self, genome, space)
+            except Exception:
+                evaluator = None
+            self._cohorts[genome] = evaluator
+            while len(self._cohorts) > _COHORT_REGISTRY_SIZE:
+                self._cohorts.popitem(last=False)
+        else:
+            self._cohorts.move_to_end(genome)
+        return evaluator.mcts_hook if evaluator is not None else None
 
     def tune_population(self, genomes: Sequence[Genome],
                         seeds: Sequence[int],

@@ -116,7 +116,7 @@ class TileFlowMapper:
                  respect_memory: bool = True, seed: int = 0,
                  workers: int = 1, cache_size: Optional[int] = None,
                  prescreen: bool = True, incremental: bool = True,
-                 engine=None):
+                 batched: bool = True, engine=None):
         self.workload = workload
         self.arch = arch
         self.model = TileFlowModel(arch)
@@ -128,6 +128,9 @@ class TileFlowMapper:
         #: Incremental subtree re-analysis across mapper moves (purely a
         #: performance knob; trajectories are unchanged).
         self.incremental = incremental
+        #: Batched cohort pricing inside the engine's MCTS factor tuner
+        #: (also purely a performance knob — results are bit-identical).
+        self.batched = batched
         self._engine = engine
 
     # ------------------------------------------------------------------
@@ -138,7 +141,8 @@ class TileFlowMapper:
         return EvaluationEngine(
             self.workload, self.arch, respect_memory=self.respect_memory,
             workers=self.workers, cache_size=cache_size,
-            prescreen=self.prescreen, incremental=self.incremental)
+            prescreen=self.prescreen, incremental=self.incremental,
+            batched=self.batched)
 
     def _evaluate_genome(self, genome: Genome,
                          factors: Dict[str, int]) -> Cost:

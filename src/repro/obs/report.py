@@ -112,8 +112,10 @@ def incremental_effectiveness(metrics: Optional[Mapping[str, Mapping[str,
     misses = value("engine.subtree_misses")
     skipped = value("engine.edp_energy_skipped")
     evictions = value("engine.subtree_evictions")
+    batched = value("engine.batched_evaluations")
+    batch_fill = value("engine.batch_fill")
     lookups = hits + misses
-    if lookups == 0 and skipped == 0:
+    if lookups == 0 and skipped == 0 and batch_fill == 0:
         return None
     out: Dict[str, float] = {
         "subtree_hits": hits,
@@ -125,6 +127,13 @@ def incremental_effectiveness(metrics: Optional[Mapping[str, Mapping[str,
         # artifact store; zero when no tiers are attached.
         "subtree_l2_hits": value("engine.subtree_l2_hits"),
         "subtree_l3_hits": value("engine.subtree_l3_hits"),
+        # Batched cohort sweeps: candidates priced by the array-native
+        # kernels (committed / attempted) and members bounced back to
+        # the scalar path.  ``batch_yield`` is committed over attempted.
+        "batched_evaluations": batched,
+        "batch_fill": batch_fill,
+        "batch_fallbacks": value("engine.batch_fallbacks"),
+        "batch_yield": batched / batch_fill if batch_fill else 0.0,
     }
     prefix = "engine.subtree_evictions."
     for name in sorted(metrics or {}):
@@ -230,6 +239,13 @@ def render_profile(spans: Sequence[SpanRecord],
                 f"{'subtree cache evictions':40s} "
                 f"{inc['subtree_evictions']:>12g}"
                 + (f"  ({by_kind})" if by_kind else ""))
+        if inc.get("batch_fill"):
+            lines.append(
+                f"{'batched candidate pricing':40s} "
+                f"{inc['batch_yield'] * 100:11.1f}% "
+                f"({inc['batched_evaluations']:g} of "
+                f"{inc['batch_fill']:g} swept candidates committed, "
+                f"{inc['batch_fallbacks']:g} scalar fallbacks)")
     return "\n".join(lines)
 
 

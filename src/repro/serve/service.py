@@ -427,6 +427,14 @@ class EvaluationService:
                                    namespace=engine.namespace_digest)
                 for (wl, ar), engine in self._engines.items()
             }
+        # Batched cohort pricing, aggregated across engines: how many
+        # search candidates the array-native sweeps committed vs bounced
+        # back to the scalar path since the service started.
+        batched = {
+            name: sum(stats.get(name, 0) for stats in engines.values())
+            for name in ("batched_evaluations", "batch_fill",
+                         "batch_fallbacks")
+        }
         cache = self.subtree_cache
         l2_hits, l3_hits = cache.tier_counts()
         tier_kinds = cache.tier_counts_by_kind()
@@ -448,6 +456,7 @@ class EvaluationService:
                       "rejected_full": self.queue.rejected_full,
                       "rejected_closed": self.queue.rejected_closed},
             "engines": engines,
+            "batched": batched,
             "subtree_cache": {
                 "hits": cache.hits, "misses": cache.misses,
                 "evictions": cache.eviction_count,
